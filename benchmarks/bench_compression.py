@@ -1,0 +1,39 @@
+"""Ablation bench: delta suppression (the paper's future-work item).
+
+§4.5 closes with "Some techniques can be adopted to reduce convergence
+time, i.e. compression. This problem is left as future work."  This
+bench measures the simplest such technique — suppressing efferent
+updates that changed by less than a threshold — and verifies it trades
+a bounded accuracy loss for a real traffic reduction.
+"""
+
+import pytest
+
+from repro.experiments import default_graph, run_compression_ablation
+
+
+@pytest.fixture(scope="module")
+def graph(scale):
+    return default_graph(scale)
+
+
+def test_compression(benchmark, graph, save_result):
+    result = benchmark.pedantic(
+        run_compression_ablation,
+        kwargs=dict(
+            graph=graph, n_groups=16,
+            thresholds=(0.0, 1e-8, 1e-4, 1e-2), max_time=120.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("compression", result.format())
+
+    # More suppression -> (weakly) fewer messages.
+    assert result.messages[-1] < result.messages[0]
+    # Mild suppression must not destroy accuracy.
+    assert result.final_errors[1] < 10 * max(result.final_errors[0], 1e-12)
+
+    benchmark.extra_info["messages"] = dict(
+        zip(map(str, result.thresholds), result.messages)
+    )

@@ -1,0 +1,48 @@
+"""Engineering bench: throughput of the numerical kernels.
+
+Not a paper table — this measures the building blocks so regressions
+in the hot paths (SpMV sweeps, block decomposition, full centralized
+solves) are visible. These benches use pytest-benchmark's normal
+multi-round timing since each call is fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pagerank import pagerank_open
+from repro.experiments import default_graph
+from repro.graph import make_partition
+from repro.linalg import group_blocks, jacobi_sweep, propagation_matrix
+
+
+@pytest.fixture(scope="module")
+def graph(scale):
+    return default_graph(scale)
+
+
+@pytest.fixture(scope="module")
+def operator(graph):
+    return propagation_matrix(graph, 0.85)
+
+
+def test_jacobi_sweep_throughput(benchmark, graph, operator):
+    x = np.random.default_rng(0).random(graph.n_pages)
+    f = np.full(graph.n_pages, 0.15)
+    result = benchmark(jacobi_sweep, operator, x, f)
+    assert result.shape == (graph.n_pages,)
+
+
+def test_propagation_matrix_build(benchmark, graph):
+    p = benchmark(propagation_matrix, graph, 0.85)
+    assert p.shape == (graph.n_pages, graph.n_pages)
+
+
+def test_group_blocks_build(benchmark, graph):
+    part = make_partition(graph, 32, "site")
+    blocks = benchmark(group_blocks, graph, part, 0.85)
+    assert blocks.n_groups == 32
+
+
+def test_centralized_pagerank_solve(benchmark, graph):
+    result = benchmark(pagerank_open, graph, 0.85)
+    assert result.converged

@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Benches regenerate the paper's tables/figures.  Each writes its
+formatted output to ``benchmarks/results/<name>.txt`` (so the
+reproduction tables survive pytest's stdout capture) and records key
+numbers in ``benchmark.extra_info``.
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 1.0) to grow/shrink the
+workloads; all shape assertions are scale-free.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    base = ExperimentScale(n_pages=3000, n_sites=100, seed=2003)
+    return base.scaled(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

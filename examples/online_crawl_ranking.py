@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: ranking a web that is still being crawled (§4.3 dynamics).
+
+A real deployment never ranks a finished crawl: the crawlers keep
+discovering pages and the web keeps editing itself.  This example runs
+the full loop — crawl a batch, refresh stale pages, re-rank with every
+ranker warm-started from its previous scores — against a mutating
+hidden web, and shows (a) each phase converges (the paper's §4.3
+conjecture for dynamic graphs) and (b) warm starts make re-ranking far
+cheaper than ranking from scratch.
+
+Run:  python examples/online_crawl_ranking.py
+"""
+
+from repro.analysis import format_table, sparkline
+from repro.crawl import Crawler, TrueWeb, online_distributed_pagerank
+
+
+def main() -> None:
+    # The hidden web: 6 000 pages, 60 sites, closed (no external links
+    # exist in *W*; the open-system boundary will be the crawl frontier).
+    web = TrueWeb(6_000, 60, seed=17)
+    crawler = Crawler(web, seeds=[0, 2_000, 4_000], revisit_fraction=0.2, seed=3)
+
+    phases = online_distributed_pagerank(
+        crawler,
+        n_groups=12,
+        phases=5,
+        pages_per_phase=800,
+        churn_per_phase=120,   # the web edits 120 links between phases
+        target_relative_error=1e-4,
+        seed=23,
+    )
+
+    rows = []
+    for ph in phases:
+        rows.append(
+            (
+                ph.phase,
+                ph.n_pages,
+                str(ph.converged),
+                ph.time_to_target,
+                round(ph.mean_outer_iterations, 1),
+                f"{ph.initial_error:.1%}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "phase",
+                "pages ranked",
+                "converged",
+                "time to 0.01%",
+                "mean iterations",
+                "warm-start error",
+            ],
+            rows,
+            title="online crawl-and-rank (12 rankers, 120 link edits/phase)",
+        )
+    )
+    print(
+        "\ncrawl growth: "
+        + sparkline([ph.n_pages for ph in phases])
+        + f"  ({phases[0].n_pages} → {phases[-1].n_pages} pages)"
+    )
+    print(
+        "\nEvery phase re-converges despite growth and churn; the "
+        "warm-start error column shows why incremental re-ranking is "
+        "cheap — each phase starts most of the way to the new fixed "
+        "point instead of at zero."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scenario: choosing a page-partitioning strategy (§4.1).
+
+The paper argues that dividing pages by *site* hash dominates random
+or per-URL placement because ~90% of links stay within a site.  This
+example measures all three on the same crawl: the cut size (links
+whose score must cross the network every iteration), the resulting
+real traffic to convergence, and the load balance price site-level
+placement pays.
+
+Run:  python examples/partitioning_study.py
+"""
+
+from repro import google_contest_like, pagerank_open
+from repro.analysis import format_table
+from repro.core import run_distributed_pagerank
+from repro.graph import make_partition, partition_cut_statistics
+
+
+def main() -> None:
+    graph = google_contest_like(6_000, 80, seed=13)
+    reference = pagerank_open(graph, tol=1e-12).ranks
+    n_groups = 16
+
+    rows = []
+    for strategy in ("random", "url", "site"):
+        part = make_partition(graph, n_groups, strategy, seed=5)
+        cut = partition_cut_statistics(graph, part)
+        result = run_distributed_pagerank(
+            graph,
+            partition=part,
+            n_groups=n_groups,
+            partition_strategy=strategy,
+            algorithm="dpr1",
+            t1=2.0,
+            t2=2.0,
+            seed=5,
+            reference=reference,
+            target_relative_error=1e-4,
+            max_time=600.0,
+        )
+        rows.append(
+            (
+                strategy,
+                cut.n_cut_links,
+                f"{cut.cut_fraction:.1%}",
+                f"{part.imbalance():.2f}x",
+                result.traffic.total_messages,
+                f"{result.traffic.total_bytes / 1e6:.1f} MB",
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "strategy",
+                "cut links",
+                "cut fraction",
+                "imbalance",
+                "messages",
+                "bytes to converge",
+            ],
+            rows,
+            title=f"partitioning strategies on {graph.n_pages:,} pages, K={n_groups}",
+        )
+    )
+    print(
+        "\nSite-hash placement cuts an order of magnitude fewer links "
+        "(→ less traffic per iteration); the price is coarser load "
+        "balance, since whole sites move as units — exactly the §4.1 "
+        "trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

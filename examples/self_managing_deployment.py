@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Scenario: a self-managing ranking deployment (no operator in the loop).
+
+The paper's algorithms run "while true" and its experiments rely on an
+omniscient observer to read global state.  A real P2P deployment has
+neither an operator nor an observer; this example shows the two
+mechanisms this library adds to close that gap:
+
+1. **Quiescence termination** — rankers stop when every node's local
+   step change has been tiny for several samples (Theorem 3.3 makes
+   that a certificate of convergence), with no reference solution.
+2. **Push-sum gossip** — after stopping, the rankers compute the
+   global average rank and total rank mass among themselves, with
+   only neighbor messages, and the result matches the true values.
+
+Run:  python examples/self_managing_deployment.py
+"""
+
+import numpy as np
+
+from repro import google_contest_like, pagerank_open
+from repro.analysis import format_table
+from repro.core import run_distributed_pagerank
+from repro.graph import make_partition
+from repro.net import PushSumProtocol
+from repro.net.simulator import Simulator
+from repro.overlay import PastryOverlay
+
+
+def main() -> None:
+    graph = google_contest_like(5_000, 60, seed=29)
+    n_groups = 20
+
+    # Phase 1: rank with self-termination. Note: no reference passed,
+    # no target error — the system decides on its own when it is done.
+    result = run_distributed_pagerank(
+        graph,
+        n_groups=n_groups,
+        algorithm="dpr1",
+        partition_strategy="site",
+        t1=0.0,
+        t2=6.0,
+        seed=31,
+        quiescence_delta=1e-9,
+        max_time=2000.0,
+    )
+    print(
+        f"self-terminated: {result.quiescent} at sim time "
+        f"{result.quiescence_time}"
+    )
+    truth = pagerank_open(graph, tol=1e-13).ranks
+    err = np.abs(result.ranks - truth).sum() / np.abs(truth).sum()
+    print(f"actual relative error at self-detected convergence: {err:.2e}\n")
+
+    # Phase 2: the rankers compute global statistics by gossip.
+    part = make_partition(graph, n_groups, "site")
+    rank_sums = np.array(
+        [result.ranks[part.pages_of_group(g)].sum() for g in range(n_groups)]
+    )
+    page_counts = np.array(
+        [float(part.pages_of_group(g).size) for g in range(n_groups)]
+    )
+    sim = Simulator()
+    overlay = PastryOverlay(n_groups, seed=3)
+    gossip_sum = PushSumProtocol(sim, overlay, rank_sums, seed=5)
+    gossip_cnt = PushSumProtocol(sim, overlay, page_counts, seed=7)
+    t1 = gossip_sum.run_until_accurate(1e-9, max_time=500.0)
+    t2 = gossip_cnt.run_until_accurate(1e-9, max_time=500.0)
+
+    est_total = gossip_sum.estimates()[0] * n_groups
+    est_pages = gossip_cnt.estimates()[0] * n_groups
+    est_mean = est_total / est_pages
+    rows = [
+        ("total rank mass", f"{truth.sum():.4f}", f"{est_total:.4f}"),
+        ("pages ranked", f"{graph.n_pages}", f"{est_pages:.1f}"),
+        ("average rank (Fig 7 metric)", f"{truth.mean():.6f}", f"{est_mean:.6f}"),
+    ]
+    print(
+        format_table(
+            ["quantity", "ground truth", "gossip estimate (node 0)"],
+            rows,
+            title=f"push-sum aggregation (converged in {max(t1, t2):.0f} time units, "
+            f"{gossip_sum.messages_sent + gossip_cnt.messages_sent} messages)",
+        )
+    )
+    print(
+        "\nNo omniscient monitor anywhere: termination came from local "
+        "step deltas (Thm 3.3) and the global statistics from neighbor "
+        "gossip."
+    )
+
+
+if __name__ == "__main__":
+    main()

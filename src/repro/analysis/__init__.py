@@ -1,0 +1,66 @@
+"""Analysis layer: the paper's cost model, metrics, and reporting.
+
+* :mod:`~repro.analysis.cost_model` — closed-form implementations of
+  formulas 4.1–4.7 and the Table 1 generator (minimum iteration
+  interval and per-node bottleneck bandwidth for 10³/10⁴/10⁵ rankers).
+* :mod:`~repro.analysis.metrics` — result-comparison metrics beyond
+  the paper's relative error (top-k overlap, rank correlation).
+* :mod:`~repro.analysis.reporting` — plain-text table/series
+  formatting so benches print rows shaped like the paper's tables.
+"""
+
+from repro.analysis.cost_model import (
+    CostModel,
+    PASTRY_HOPS_BY_N,
+    indirect_data_bytes,
+    direct_data_bytes,
+    indirect_messages,
+    direct_messages,
+    min_iteration_interval,
+    min_node_bottleneck_bandwidth,
+    table1_rows,
+    message_crossover_n,
+    bandwidth_crossover_n,
+)
+from repro.analysis.metrics import (
+    topk_overlap,
+    rank_order_correlation,
+    compare_rankings,
+)
+from repro.analysis.reporting import format_table, format_series
+from repro.analysis.viz import ascii_chart, sparkline
+from repro.analysis.export import trace_to_csv, run_summary, save_run_summary
+from repro.analysis.stats import (
+    ConvergenceRate,
+    estimate_convergence_rate,
+    ReplicationSummary,
+    replicate,
+)
+
+__all__ = [
+    "CostModel",
+    "PASTRY_HOPS_BY_N",
+    "indirect_data_bytes",
+    "direct_data_bytes",
+    "indirect_messages",
+    "direct_messages",
+    "min_iteration_interval",
+    "min_node_bottleneck_bandwidth",
+    "table1_rows",
+    "message_crossover_n",
+    "bandwidth_crossover_n",
+    "topk_overlap",
+    "rank_order_correlation",
+    "compare_rankings",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+    "sparkline",
+    "trace_to_csv",
+    "run_summary",
+    "save_run_summary",
+    "ConvergenceRate",
+    "estimate_convergence_rate",
+    "ReplicationSummary",
+    "replicate",
+]

@@ -1,0 +1,85 @@
+"""Result persistence: CSV time series and JSON run summaries.
+
+Figures 6–8 are time series; downstream users will want them in their
+own plotting stack, so :func:`trace_to_csv` dumps any
+:class:`~repro.core.convergence.ConvergenceTrace` as plain CSV.
+:func:`run_summary` / :func:`save_run_summary` flatten a
+:class:`~repro.core.coordinator.RunResult` into a JSON-serializable
+dict of scalars (configuration echo included) for experiment logging.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace
+from repro.core.coordinator import RunResult
+
+__all__ = ["trace_to_csv", "run_summary", "save_run_summary"]
+
+_COLUMNS = (
+    "time",
+    "relative_error",
+    "mean_rank",
+    "max_outer_iterations",
+    "mean_outer_iterations",
+    "total_messages",
+    "total_bytes",
+)
+
+
+def trace_to_csv(trace: ConvergenceTrace, path: Union[str, os.PathLike]) -> None:
+    """Write a convergence trace as CSV with one row per sample."""
+    arrays = trace.as_arrays()
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_COLUMNS)
+        for i in range(len(trace)):
+            writer.writerow([arrays[c][i] for c in _COLUMNS])
+
+
+def run_summary(result: RunResult) -> Dict[str, object]:
+    """Flatten a run into JSON-serializable scalars.
+
+    Vector payloads (ranks, per-group counters) are summarized, not
+    embedded — summaries are for experiment logs, the full vectors
+    stay in memory or go through :mod:`repro.graph.io`-style storage.
+    """
+    summary: Dict[str, object] = {
+        "converged": bool(result.converged),
+        "time_to_target": result.time_to_target,
+        "quiescent": bool(result.quiescent),
+        "quiescence_time": result.quiescence_time,
+        "final_relative_error": float(result.final_relative_error),
+        "n_pages": int(result.ranks.size),
+        "mean_rank": float(result.ranks.mean()) if result.ranks.size else 0.0,
+        "outer_iterations_max": int(result.max_outer_iterations),
+        "outer_iterations_mean": float(result.outer_iterations.mean())
+        if result.outer_iterations.size
+        else 0.0,
+        "inner_sweeps_total": int(result.inner_sweeps.sum()),
+        "messages": int(result.traffic.total_messages),
+        "bytes": int(result.traffic.total_bytes),
+        "dropped_updates": int(result.dropped_updates),
+        "samples": len(result.trace),
+    }
+    if result.config is not None:
+        cfg = asdict(result.config)
+        # The E field may be an array; record only its kind.
+        e = cfg.pop("e", None)
+        cfg["e"] = "uniform" if e is None or np.isscalar(e) else "custom-vector"
+        summary["config"] = cfg
+    return summary
+
+
+def save_run_summary(result: RunResult, path: Union[str, os.PathLike]) -> None:
+    """Write :func:`run_summary` as pretty-printed JSON."""
+    with open(path, "w") as fh:
+        json.dump(run_summary(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,91 @@
+"""Ranking-comparison metrics.
+
+The paper measures distributed-vs-centralized agreement only by
+relative L1 error.  For a search engine the *ordering* of pages is
+what matters, so this module adds two standard ordering metrics used
+by the examples and tests:
+
+* top-k overlap — fraction of the centralized top-k pages also in the
+  distributed top-k (what a user of the first k results experiences);
+* Spearman rank-order correlation over all pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["topk_overlap", "rank_order_correlation", "compare_rankings", "RankingComparison"]
+
+
+def topk_overlap(scores_a: np.ndarray, scores_b: np.ndarray, k: int) -> float:
+    """|top-k(a) ∩ top-k(b)| / k.
+
+    Ties are broken by page index (deterministically) in both rankings.
+    """
+    a = np.asarray(scores_a)
+    b = np.asarray(scores_b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if not 1 <= k <= a.size:
+        raise ValueError(f"k must be in [1, {a.size}], got {k}")
+    top_a = set(np.argsort(-a, kind="stable")[:k].tolist())
+    top_b = set(np.argsort(-b, kind="stable")[:k].tolist())
+    return len(top_a & top_b) / k
+
+
+def rank_order_correlation(scores_a: np.ndarray, scores_b: np.ndarray) -> float:
+    """Spearman ρ between two score vectors (1.0 = identical order)."""
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        return 1.0
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", stats.ConstantInputWarning)
+        rho = stats.spearmanr(a, b).statistic
+    # Constant vectors make Spearman undefined; identical constants are
+    # a perfect ordering match for our purposes.
+    if np.isnan(rho):
+        return 1.0 if np.allclose(a, a[0]) and np.allclose(b, b[0]) else 0.0
+    return float(rho)
+
+
+@dataclass
+class RankingComparison:
+    """Bundle of agreement metrics between two rank vectors."""
+
+    relative_l1_error: float
+    spearman: float
+    top10_overlap: float
+    top100_overlap: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metrics as a flat mapping (for table rows / JSON)."""
+        return {
+            "relative_l1_error": self.relative_l1_error,
+            "spearman": self.spearman,
+            "top10_overlap": self.top10_overlap,
+            "top100_overlap": self.top100_overlap,
+        }
+
+
+def compare_rankings(distributed: np.ndarray, centralized: np.ndarray) -> RankingComparison:
+    """All agreement metrics at once (k capped at the vector length)."""
+    from repro.linalg.norms import relative_l1_error
+
+    n = np.asarray(distributed).size
+    k10 = min(10, max(n, 1))
+    k100 = min(100, max(n, 1))
+    return RankingComparison(
+        relative_l1_error=relative_l1_error(distributed, centralized),
+        spearman=rank_order_correlation(distributed, centralized),
+        top10_overlap=topk_overlap(distributed, centralized, k10) if n else 1.0,
+        top100_overlap=topk_overlap(distributed, centralized, k100) if n else 1.0,
+    )

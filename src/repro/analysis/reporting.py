@@ -1,0 +1,75 @@
+"""Plain-text tables and series.
+
+Benches and examples print results shaped like the paper's tables and
+figure data; these helpers keep that formatting consistent and free of
+plotting dependencies (the environment is headless).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:,.4g}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], *,
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["n", "t"], [[1000, 7500.0]], title="Table 1"))
+    Table 1
+    n      t
+    -----  -----
+    1,000  7,500
+    """
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Cell], ys: Sequence[Cell], *, x_label: str = "x",
+    y_label: str = "y", max_points: int = 25,
+) -> str:
+    """Render an (x, y) series, thinning long series evenly.
+
+    Used to print figure data (Figs 6–8) without plotting.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n > max_points:
+        idx = [round(i * (n - 1) / (max_points - 1)) for i in range(max_points)]
+        idx = sorted(set(idx))
+    else:
+        idx = list(range(n))
+    rows = [[xs[i], ys[i]] for i in idx]
+    return format_table([x_label, y_label], rows, title=name)

@@ -1,0 +1,149 @@
+"""Statistical analysis of convergence traces and replicated runs.
+
+Two tools the paper's evaluation lacks but a careful reproduction
+wants:
+
+* :func:`estimate_convergence_rate` — DPR error decays geometrically
+  (the iteration is a contraction), so ``log(err)`` vs time is close
+  to linear; a least-squares fit yields the decay rate and a
+  *time-to-x* extrapolation, letting short runs be compared
+  quantitatively instead of eyeballing curves.
+* :func:`replicate` / :class:`ReplicationSummary` — every simulated
+  quantity (time-to-target, traffic, iterations) is a random variable
+  over seeds; replication reports mean ± a normal-approximation
+  confidence interval so ordering claims ("A converges before B") can
+  be asserted with error bars rather than single draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace
+
+__all__ = [
+    "ConvergenceRate",
+    "estimate_convergence_rate",
+    "ReplicationSummary",
+    "replicate",
+]
+
+
+@dataclass
+class ConvergenceRate:
+    """Fitted geometric decay of a relative-error trace.
+
+    ``error(t) ≈ exp(intercept) · exp(rate · t)`` with ``rate < 0``
+    for a converging run.
+    """
+
+    rate: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    @property
+    def halving_time(self) -> float:
+        """Time for the error to halve (inf if not decaying)."""
+        if self.rate >= 0:
+            return math.inf
+        return math.log(0.5) / self.rate
+
+    def time_to_error(self, target: float, *, initial: Optional[float] = None) -> float:
+        """Extrapolated time until the fitted error reaches ``target``."""
+        if target <= 0:
+            raise ValueError("target must be positive")
+        if self.rate >= 0:
+            return math.inf
+        start = math.log(initial) if initial is not None else self.intercept
+        return (math.log(target) - start) / self.rate
+
+
+def estimate_convergence_rate(
+    trace: ConvergenceTrace, *, min_error: float = 1e-12
+) -> ConvergenceRate:
+    """Least-squares fit of ``log(relative error)`` against time.
+
+    Samples at or below ``min_error`` (already at numerical floor) and
+    non-finite errors are excluded.  Requires at least three usable
+    samples.
+    """
+    times = np.asarray(trace.times, dtype=np.float64)
+    errs = np.asarray(trace.relative_errors, dtype=np.float64)
+    mask = np.isfinite(errs) & (errs > min_error)
+    times, errs = times[mask], errs[mask]
+    if times.size < 3:
+        raise ValueError("need at least 3 usable samples to fit a rate")
+    log_err = np.log(errs)
+    slope, intercept = np.polyfit(times, log_err, 1)
+    predicted = slope * times + intercept
+    ss_res = float(((log_err - predicted) ** 2).sum())
+    ss_tot = float(((log_err - log_err.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ConvergenceRate(
+        rate=float(slope),
+        intercept=float(intercept),
+        r_squared=r2,
+        n_points=int(times.size),
+    )
+
+
+@dataclass
+class ReplicationSummary:
+    """Mean and confidence interval of a metric over seed replicates."""
+
+    values: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single replicate)."""
+        return float(np.std(self.values, ddof=1)) if self.n > 1 else 0.0
+
+    def ci95(self) -> float:
+        """Half-width of the 95% normal-approximation interval."""
+        if self.n < 2:
+            return math.inf if self.n == 0 else 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def separated_from(self, other: "ReplicationSummary") -> bool:
+        """True if the two 95% intervals do not overlap.
+
+        A conservative ordering test: non-overlapping intervals imply
+        a significant difference (the converse does not hold).
+        """
+        lo_self, hi_self = self.mean - self.ci95(), self.mean + self.ci95()
+        lo_other, hi_other = other.mean - other.ci95(), other.mean + other.ci95()
+        return hi_self < lo_other or hi_other < lo_self
+
+
+def replicate(
+    run_fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, ReplicationSummary]:
+    """Run ``run_fn(seed)`` per seed and summarize each returned metric.
+
+    ``run_fn`` must return a flat ``{metric: value}`` mapping with the
+    same keys for every seed; ``None`` values are skipped per metric.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        metrics = run_fn(int(seed))
+        for key, value in metrics.items():
+            if value is None:
+                continue
+            collected.setdefault(key, []).append(float(value))
+    return {key: ReplicationSummary(vals) for key, vals in collected.items()}

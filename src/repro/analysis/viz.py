@@ -1,0 +1,96 @@
+"""Terminal visualization: ASCII line charts and sparklines.
+
+The environment is headless, but Figs 6–8 are *curves*; these helpers
+render them legibly in plain text so CLI/bench output shows the shape,
+not just endpoints.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a numeric series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more numeric series as a text line chart.
+
+    Each series is resampled to ``width`` columns; distinct series are
+    drawn with distinct marker characters and listed in a legend.
+    Shared y-scale across series (that is the point of overlaying).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small to draw")
+    markers = "*o+x#@%&"
+    all_vals = [float(v) for vals in series.values() for v in vals if vals]
+    if not all_vals:
+        raise ValueError("series are empty")
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (name, vals), marker in zip(series.items(), markers):
+        vals = [float(v) for v in vals]
+        if not vals:
+            continue
+        for col in range(width):
+            # Nearest-sample resampling onto the column grid.
+            idx = round(col * (len(vals) - 1) / (width - 1)) if len(vals) > 1 else 0
+            v = vals[idx]
+            row = int((v - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}"
+    bottom_label = f"{lo:.4g}"
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * label_w + "   " + legend)
+    return "\n".join(lines)

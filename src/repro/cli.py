@@ -1,0 +1,206 @@
+"""Command-line interface: reproduce paper results from the shell.
+
+Usage::
+
+    python -m repro fig6   [--pages N] [--sites N] [--groups K] [--seed S]
+    python -m repro fig7   [--pages N] [--sites N] [--groups K]
+    python -m repro fig8   [--pages N] [--ks 2,10,100]
+    python -m repro table1 [--ns 1000,10000,100000]
+    python -m repro run    [--pages N] [--groups K] [--algorithm dpr1]
+                           [--transport indirect] [--overlay pastry] ...
+    python -m repro summary [--pages N] [--sites N]
+
+Every subcommand prints the same text tables the benches save, so a
+user can regenerate any paper artifact without touching pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (see module docstring for usage)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Page Ranking in Structured P2P Networks "
+        "(ICPP 2003) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload(p):
+        p.add_argument("--pages", type=int, default=4000, help="crawl size")
+        p.add_argument("--sites", type=int, default=100, help="site count")
+        p.add_argument("--seed", type=int, default=2003)
+
+    p_fig6 = sub.add_parser("fig6", help="relative error vs time (Fig 6)")
+    add_workload(p_fig6)
+    p_fig6.add_argument("--groups", type=int, default=64)
+    p_fig6.add_argument("--max-time", type=float, default=90.0)
+
+    p_fig7 = sub.add_parser("fig7", help="monotone average rank (Fig 7)")
+    add_workload(p_fig7)
+    p_fig7.add_argument("--groups", type=int, default=100)
+    p_fig7.add_argument("--max-time", type=float, default=90.0)
+
+    p_fig8 = sub.add_parser("fig8", help="iterations vs #rankers (Fig 8)")
+    add_workload(p_fig8)
+    p_fig8.add_argument("--ks", type=_int_list, default=[2, 10, 100, 256])
+    p_fig8.add_argument("--max-time", type=float, default=4000.0)
+
+    p_t1 = sub.add_parser("table1", help="iteration interval & bandwidth (Table 1)")
+    p_t1.add_argument("--ns", type=_int_list, default=[1000, 10000, 100000])
+    p_t1.add_argument("--hop-samples", type=int, default=400)
+
+    p_run = sub.add_parser("run", help="one distributed page-ranking run")
+    add_workload(p_run)
+    p_run.add_argument("--groups", type=int, default=16)
+    p_run.add_argument("--algorithm", choices=["dpr1", "dpr2"], default="dpr1")
+    p_run.add_argument(
+        "--partition", choices=["site", "url", "random", "contiguous"], default="site"
+    )
+    p_run.add_argument("--overlay", choices=["pastry", "chord", "can"], default="pastry")
+    p_run.add_argument("--transport", choices=["indirect", "direct"], default="indirect")
+    p_run.add_argument("--t1", type=float, default=0.0)
+    p_run.add_argument("--t2", type=float, default=6.0)
+    p_run.add_argument("--delivery-prob", type=float, default=1.0)
+    p_run.add_argument("--target", type=float, default=1e-5,
+                       help="target relative error")
+    p_run.add_argument("--max-time", type=float, default=1000.0)
+
+    p_sum = sub.add_parser("summary", help="describe a generated crawl")
+    add_workload(p_sum)
+
+    p_all = sub.add_parser("all", help="run the full reproduction suite")
+    add_workload(p_all)
+    p_all.add_argument(
+        "--only",
+        type=lambda s: [x for x in s.split(",") if x],
+        default=None,
+        help="comma-separated experiment names (default: all)",
+    )
+    p_all.add_argument("--out", default=None, help="directory for result tables")
+
+    return parser
+
+
+def _make_graph(args):
+    from repro.graph import google_contest_like
+
+    return google_contest_like(args.pages, min(args.sites, args.pages), seed=args.seed)
+
+
+def cmd_fig6(args) -> int:
+    from repro.experiments import run_fig6
+
+    result = run_fig6(_make_graph(args), n_groups=args.groups, max_time=args.max_time)
+    print(result.format())
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from repro.experiments import run_fig7
+
+    result = run_fig7(_make_graph(args), n_groups=args.groups, max_time=args.max_time)
+    print(result.format())
+    return 0 if all(result.monotone.values()) else 1
+
+
+def cmd_fig8(args) -> int:
+    from repro.experiments import run_fig8
+
+    result = run_fig8(_make_graph(args), ks=args.ks, max_time=args.max_time)
+    print(result.format())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments import run_table1
+
+    result = run_table1(ns=args.ns, hop_samples=args.hop_samples)
+    print(result.format())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.core import run_distributed_pagerank
+
+    graph = _make_graph(args)
+    result = run_distributed_pagerank(
+        graph,
+        n_groups=args.groups,
+        algorithm=args.algorithm,
+        partition_strategy=args.partition,
+        overlay=args.overlay,
+        transport=args.transport,
+        t1=args.t1,
+        t2=args.t2,
+        delivery_prob=args.delivery_prob,
+        seed=args.seed,
+        target_relative_error=args.target,
+        max_time=args.max_time,
+    )
+    rows = [
+        ("converged", str(result.converged)),
+        ("time to target", str(result.time_to_target)),
+        ("final relative error", f"{result.final_relative_error:.3e}"),
+        ("outer iterations (max)", result.max_outer_iterations),
+        ("inner sweeps (max)", result.max_inner_sweeps),
+        ("messages", result.traffic.total_messages),
+        ("bytes", result.traffic.total_bytes),
+        ("updates dropped", result.dropped_updates),
+    ]
+    print(format_table(["metric", "value"], rows, title="distributed run"))
+    return 0 if result.converged else 1
+
+
+def cmd_summary(args) -> int:
+    from repro.graph import summarize
+
+    summary = summarize(_make_graph(args))
+    rows = [(k, v) for k, v in summary.as_dict().items()]
+    print(format_table(["statistic", "value"], rows, title="crawl summary"))
+    return 0
+
+
+def cmd_all(args) -> int:
+    """Run every experiment and print/write the combined report."""
+    from repro.experiments import ExperimentScale, run_all
+
+    scale = ExperimentScale(
+        n_pages=args.pages, n_sites=min(args.sites, args.pages), seed=args.seed
+    )
+    report = run_all(scale=scale, only=args.only, out_dir=args.out)
+    print(report.format())
+    return 0
+
+
+COMMANDS = {
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "table1": cmd_table1,
+    "run": cmd_run,
+    "summary": cmd_summary,
+    "all": cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

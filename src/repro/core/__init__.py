@@ -1,0 +1,61 @@
+"""Distributed page ranking — the paper's core contribution.
+
+Layered as the paper presents it:
+
+* :mod:`~repro.core.pagerank` — Algorithm 1, classic centralized
+  PageRank (both the paper's literal renormalizing loop and the
+  open-system fixed point used as the distributed reference, "CPR").
+* :mod:`~repro.core.open_system` — §3's Open System PageRank:
+  per-group operators and Algorithm 2 (``GroupPageRank``).
+* :mod:`~repro.core.dpr` — §4.2's DPR1 and DPR2 node state machines
+  (pure computation, no networking).
+* :mod:`~repro.core.ranker` — a page ranker as a simulator process:
+  wake on an exponential timer, refresh X, compute, emit Y, sleep.
+* :mod:`~repro.core.coordinator` — builds the whole distributed
+  system (graph → partition → blocks → overlay → transport → rankers)
+  and runs it to convergence, producing the traces behind Figs 6–8.
+* :mod:`~repro.core.convergence` — relative-error/monotonicity
+  instrumentation (Theorems 4.1/4.2 checks).
+"""
+
+from repro.core.pagerank import (
+    PageRankResult,
+    pagerank_algorithm1,
+    pagerank_open,
+    iterations_to_relative_error,
+)
+from repro.core.open_system import GroupSystem, group_pagerank
+from repro.core.hits import HITSResult, hits
+from repro.core.dpr import DPRNode
+from repro.core.ranker import PageRanker
+from repro.core.convergence import (
+    ConvergenceTrace,
+    Monitor,
+    is_monotone_nondecreasing,
+)
+from repro.core.coordinator import (
+    DistributedConfig,
+    DistributedRun,
+    RunResult,
+    run_distributed_pagerank,
+)
+
+__all__ = [
+    "PageRankResult",
+    "pagerank_algorithm1",
+    "pagerank_open",
+    "iterations_to_relative_error",
+    "GroupSystem",
+    "group_pagerank",
+    "HITSResult",
+    "hits",
+    "DPRNode",
+    "PageRanker",
+    "ConvergenceTrace",
+    "Monitor",
+    "is_monotone_nondecreasing",
+    "DistributedConfig",
+    "DistributedRun",
+    "RunResult",
+    "run_distributed_pagerank",
+]

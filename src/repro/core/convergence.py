@@ -1,0 +1,190 @@
+"""Convergence instrumentation.
+
+The paper's experiments track two global time series:
+
+* **relative error** ``‖R − R*‖₁ / ‖R*‖₁`` against the centralized
+  solution (Fig 6) — decreasing toward 0;
+* **average rank** (Fig 7) — for DPR1 with ``R0 = 0`` this is monotone
+  non-decreasing (Theorem 4.1) and bounded (Theorem 4.2), plateauing
+  below ``E`` because of the open-system leak.
+
+:class:`Monitor` samples both at a fixed cadence on the simulator and
+drives convergence-triggered termination.  The module also provides
+the monotonicity checker used to *test* Theorems 4.1/4.2 empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.open_system import GroupSystem
+from repro.linalg.norms import relative_l1_error
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.simulator import Simulator
+
+__all__ = ["ConvergenceTrace", "Monitor", "is_monotone_nondecreasing"]
+
+
+def is_monotone_nondecreasing(values: Sequence[float], *, tol: float = 1e-9) -> bool:
+    """True if the sequence never decreases by more than ``tol``.
+
+    The tolerance absorbs floating-point noise; Theorem 4.1's claim is
+    exact in real arithmetic.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2:
+        return True
+    return bool((np.diff(arr) >= -tol).all())
+
+
+@dataclass
+class ConvergenceTrace:
+    """Sampled global time series of one distributed run."""
+
+    times: List[float] = field(default_factory=list)
+    relative_errors: List[float] = field(default_factory=list)
+    mean_ranks: List[float] = field(default_factory=list)
+    max_outer_iterations: List[int] = field(default_factory=list)
+    mean_outer_iterations: List[float] = field(default_factory=list)
+    total_messages: List[int] = field(default_factory=list)
+    total_bytes: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def time_to_error(self, threshold: float) -> Optional[float]:
+        """First sample time at which the relative error ≤ threshold."""
+        for t, err in zip(self.times, self.relative_errors):
+            if err <= threshold:
+                return t
+        return None
+
+    def final_error(self) -> float:
+        """Relative error at the last sample (inf if never sampled)."""
+        return self.relative_errors[-1] if self.relative_errors else float("inf")
+
+    def as_arrays(self) -> dict:
+        """Columns as numpy arrays (for plotting / bench reporting)."""
+        return {
+            "time": np.asarray(self.times),
+            "relative_error": np.asarray(self.relative_errors),
+            "mean_rank": np.asarray(self.mean_ranks),
+            "max_outer_iterations": np.asarray(self.max_outer_iterations),
+            "mean_outer_iterations": np.asarray(self.mean_outer_iterations),
+            "total_messages": np.asarray(self.total_messages),
+            "total_bytes": np.asarray(self.total_bytes),
+        }
+
+
+class Monitor:
+    """Periodic global sampler running inside the simulation.
+
+    The monitor is *omniscient* — it reads every ranker's current local
+    vector without network cost.  That matches the paper's methodology:
+    the error curves of Figs 6–8 are measured by the experimenter, not
+    by the protocol.
+
+    Parameters
+    ----------
+    target_relative_error:
+        When set, :attr:`reached_target` flips as soon as a sample
+        meets the threshold; the coordinator uses it to stop the run.
+    quiescence_delta:
+        When set, enables *reference-free* termination detection: the
+        run is declared quiescent once every ranker has iterated at
+        least once and every ranker's last outer-step change
+        ``‖ΔR‖₁`` stays at or below this value for
+        ``quiescence_samples`` consecutive samples.  Theorem 3.3 turns
+        each node's step delta into a bound on its distance to the
+        local fixed point, so small deltas everywhere (with no larger
+        afferent updates arriving between samples) certify global
+        convergence — this is the termination rule the paper's
+        ``while true`` loops leave unspecified.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: GroupSystem,
+        rankers: Sequence,
+        reference: np.ndarray,
+        *,
+        interval: float = 1.0,
+        accountant: Optional[TrafficAccountant] = None,
+        target_relative_error: Optional[float] = None,
+        quiescence_delta: Optional[float] = None,
+        quiescence_samples: int = 3,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        if quiescence_samples < 1:
+            raise ValueError("quiescence_samples must be >= 1")
+        self.sim = sim
+        self.system = system
+        self.rankers = list(rankers)
+        self.reference = np.asarray(reference, dtype=np.float64)
+        self.interval = float(interval)
+        self.accountant = accountant
+        self.target = target_relative_error
+        self.quiescence_delta = quiescence_delta
+        self.quiescence_samples = int(quiescence_samples)
+        self.trace = ConvergenceTrace()
+        self.reached_target = False
+        self.target_time: Optional[float] = None
+        self.reached_quiescence = False
+        self.quiescence_time: Optional[float] = None
+        self._quiet_streak = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Take a t=0 sample and begin the sampling cadence."""
+        self._sample()
+
+    def stop(self) -> None:
+        """Stop scheduling further samples."""
+        self._stopped = True
+
+    def current_ranks(self) -> np.ndarray:
+        """Assemble the instantaneous global rank vector."""
+        return self.system.assemble([rk.node.r for rk in self.rankers])
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        ranks = self.current_ranks()
+        err = relative_l1_error(ranks, self.reference)
+        self.trace.times.append(self.sim.now)
+        self.trace.relative_errors.append(err)
+        self.trace.mean_ranks.append(float(ranks.mean()) if ranks.size else 0.0)
+        outer = [rk.node.outer_iterations for rk in self.rankers]
+        self.trace.max_outer_iterations.append(max(outer, default=0))
+        self.trace.mean_outer_iterations.append(
+            float(np.mean(outer)) if outer else 0.0
+        )
+        if self.accountant is not None:
+            snap = self.accountant.snapshot(self.sim.now)
+            self.trace.total_messages.append(snap.total_messages)
+            self.trace.total_bytes.append(snap.total_bytes)
+        else:
+            self.trace.total_messages.append(0)
+            self.trace.total_bytes.append(0)
+        if self.target is not None and err <= self.target and not self.reached_target:
+            self.reached_target = True
+            self.target_time = self.sim.now
+        if self.quiescence_delta is not None and not self.reached_quiescence:
+            quiet = all(
+                rk.node.outer_iterations > 0
+                and rk.node.last_step_delta <= self.quiescence_delta
+                for rk in self.rankers
+            )
+            self._quiet_streak = self._quiet_streak + 1 if quiet else 0
+            if self._quiet_streak >= self.quiescence_samples:
+                self.reached_quiescence = True
+                self.quiescence_time = self.sim.now
+        if not self.reached_target and not self.reached_quiescence:
+            self.sim.schedule(self.interval, self._sample)

@@ -1,0 +1,344 @@
+"""End-to-end orchestration of a distributed page-ranking run.
+
+:func:`run_distributed_pagerank` is the package's main entry point: it
+wires graph → partition → :class:`~repro.core.open_system.GroupSystem`
+→ overlay → transport → rankers → monitor, runs the event simulation
+until convergence (or a time budget), and returns a
+:class:`RunResult` carrying everything the paper's figures plot.
+
+The experiment parameters mirror §5 exactly: ``K`` page groups, wait
+means drawn from ``[T1, T2]``, per-node exponential waits, delivery
+probability ``p``, and the 0.01% relative-error threshold of Fig 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace, Monitor
+from repro.core.dpr import DPRNode
+from repro.core.open_system import GroupSystem
+from repro.core.ranker import PageRanker
+from repro.graph.partition import Partition, make_partition
+from repro.graph.webgraph import WebGraph
+from repro.net.bandwidth import TrafficAccountant, TrafficSnapshot
+from repro.net.failures import BernoulliLoss, NodePauseInjector, NoLoss
+from repro.net.latency import FixedLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import build_transport
+from repro.overlay import build_overlay
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_probability,
+)
+
+__all__ = ["DistributedConfig", "DistributedRun", "RunResult", "run_distributed_pagerank"]
+
+
+@dataclass
+class DistributedConfig:
+    """Parameters of one distributed page-ranking experiment.
+
+    Field names follow the paper: ``n_groups`` is K, ``t1``/``t2``
+    bound the per-group mean waits, ``delivery_prob`` is p.
+    """
+
+    n_groups: int = 16
+    algorithm: str = "dpr1"  # "dpr1" | "dpr2"
+    alpha: float = 0.85
+    partition_strategy: str = "site"  # "site" | "url" | "random" | "contiguous"
+    overlay: str = "pastry"  # "pastry" | "chord" | "can"
+    transport: str = "indirect"  # "indirect" | "direct"
+    t1: float = 0.0
+    t2: float = 6.0
+    delivery_prob: float = 1.0
+    local_tol: float = 1e-10
+    max_inner: int = 1000
+    inner_solver: str = "jacobi"  # "jacobi" | "gauss_seidel" (DPR1 only)
+    hop_delay: float = 0.5
+    aggregation_delay: float = 0.25
+    suppress_tol: float = 0.0
+    e: Union[float, np.ndarray, None] = None
+    sample_interval: float = 1.0
+    seed: int = 0
+    #: Explicit per-ranker mean waits (length ``n_groups``); overrides
+    #: the uniform [t1, t2] draw.  Lets experiments model deliberate
+    #: stragglers / heterogeneous hardware.
+    mean_waits: Optional[Sequence[float]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if self.algorithm not in ("dpr1", "dpr2"):
+            raise ValueError("algorithm must be 'dpr1' or 'dpr2'")
+        check_fraction(self.alpha, "alpha")
+        check_non_negative(self.t1, "t1")
+        check_non_negative(self.t2, "t2")
+        if self.t2 < self.t1:
+            raise ValueError("t2 must be >= t1")
+        check_probability(self.delivery_prob, "delivery_prob")
+        check_non_negative(self.hop_delay, "hop_delay")
+        check_non_negative(self.aggregation_delay, "aggregation_delay")
+        if self.mean_waits is not None:
+            if len(self.mean_waits) != self.n_groups:
+                raise ValueError(
+                    f"mean_waits has {len(self.mean_waits)} entries for "
+                    f"{self.n_groups} groups"
+                )
+            if any(w < 0 for w in self.mean_waits):
+                raise ValueError("mean_waits must be non-negative")
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run reports.
+
+    Attributes
+    ----------
+    ranks:
+        Final global rank vector (assembled from the groups).
+    reference:
+        The centralized solution ``R*`` the run was measured against.
+    trace:
+        Sampled time series (Fig 6/7 material).
+    converged:
+        True when the target relative error was reached.
+    time_to_target:
+        Simulated time of first reaching the target (None otherwise).
+    outer_iterations, inner_sweeps:
+        Per-group loop/sweep counts at the end of the run.
+    traffic:
+        Final cumulative traffic snapshot.
+    dropped_updates:
+        Updates suppressed by the loss model.
+    quiescent, quiescence_time:
+        Whether/when reference-free termination detection fired (only
+        meaningful when the run was started with ``quiescence_delta``).
+    """
+
+    ranks: np.ndarray
+    reference: np.ndarray
+    trace: ConvergenceTrace
+    converged: bool
+    time_to_target: Optional[float]
+    outer_iterations: np.ndarray
+    inner_sweeps: np.ndarray
+    traffic: TrafficSnapshot
+    dropped_updates: int
+    quiescent: bool = False
+    quiescence_time: Optional[float] = None
+    config: DistributedConfig = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def final_relative_error(self) -> float:
+        return self.trace.final_error()
+
+    @property
+    def max_outer_iterations(self) -> int:
+        return int(self.outer_iterations.max()) if self.outer_iterations.size else 0
+
+    @property
+    def max_inner_sweeps(self) -> int:
+        return int(self.inner_sweeps.max()) if self.inner_sweeps.size else 0
+
+
+class DistributedRun:
+    """A fully wired distributed page-ranking system, ready to run.
+
+    Splitting construction from :meth:`run` lets tests and examples
+    poke at the assembled parts (rankers, transport, overlay) and
+    inject faults before or during execution.
+    """
+
+    def __init__(
+        self,
+        graph: WebGraph,
+        config: DistributedConfig,
+        *,
+        partition: Optional[Partition] = None,
+        reference: Optional[np.ndarray] = None,
+    ):
+        self.graph = graph
+        self.config = config
+        seeds = SeedSequenceFactory(config.seed)
+
+        self.partition = (
+            partition
+            if partition is not None
+            else make_partition(
+                graph,
+                config.n_groups,
+                config.partition_strategy,
+                seed=seeds.seed("partition"),
+            )
+        )
+        if self.partition.n_groups != config.n_groups:
+            raise ValueError("partition n_groups disagrees with config")
+
+        self.system = GroupSystem(
+            graph, self.partition, alpha=config.alpha, e=config.e
+        )
+        self.reference = (
+            np.asarray(reference, dtype=np.float64)
+            if reference is not None
+            else self.system.solve_exact()
+        )
+
+        self.sim = Simulator()
+        self.overlay = build_overlay(
+            config.overlay, config.n_groups, seed=seeds.seed("overlay") % (2**31)
+        )
+        self.accountant = TrafficAccountant(config.n_groups)
+        loss = (
+            NoLoss()
+            if config.delivery_prob >= 1.0
+            else BernoulliLoss(config.delivery_prob, seed=seeds.generator("loss"))
+        )
+        transport_kwargs = {}
+        if config.transport == "indirect":
+            transport_kwargs["aggregation_delay"] = config.aggregation_delay
+        self.transport = build_transport(
+            config.transport,
+            self.sim,
+            self.overlay,
+            self.accountant,
+            loss=loss,
+            latency=FixedLatency(config.hop_delay),
+            **transport_kwargs,
+        )
+
+        wait_rng = seeds.generator("wait-means")
+        self.rankers: List[PageRanker] = []
+        for g in range(config.n_groups):
+            node = DPRNode(
+                g,
+                self.system.diag(g),
+                self.system.beta_e[g],
+                mode=config.algorithm,
+                local_tol=config.local_tol,
+                max_inner=config.max_inner,
+                inner_solver=config.inner_solver,
+            )
+            mean_wait = (
+                float(config.mean_waits[g])
+                if config.mean_waits is not None
+                else float(wait_rng.uniform(config.t1, config.t2))
+            )
+            ranker = PageRanker(
+                self.sim,
+                node,
+                self.system,
+                self.transport,
+                mean_wait=mean_wait,
+                seed=seeds.generator(f"wait/{g}"),
+                suppress_tol=config.suppress_tol,
+            )
+            self.rankers.append(ranker)
+        self.transport.attach(self._deliver)
+        self.monitor: Optional[Monitor] = None
+
+    # ------------------------------------------------------------------
+    def _deliver(self, dst_group: int, update) -> None:
+        self.rankers[dst_group].receive(update)
+
+    def install_pause_injector(self, injector: NodePauseInjector) -> None:
+        """Add node churn to the run (must be called before :meth:`run`)."""
+        injector.install(self.sim, self.rankers)
+
+    def run(
+        self,
+        *,
+        max_time: float = 1000.0,
+        target_relative_error: Optional[float] = None,
+        quiescence_delta: Optional[float] = None,
+    ) -> RunResult:
+        """Execute the simulation and gather results.
+
+        The run stops at the first of: the target relative error being
+        reached (sampled at ``config.sample_interval``), system-wide
+        quiescence (when ``quiescence_delta`` is set — the
+        reference-free termination rule; see
+        :class:`~repro.core.convergence.Monitor`), or simulated time
+        ``max_time``.
+        """
+        cfg = self.config
+        self.monitor = Monitor(
+            self.sim,
+            self.system,
+            self.rankers,
+            self.reference,
+            interval=cfg.sample_interval,
+            accountant=self.accountant,
+            target_relative_error=target_relative_error,
+            quiescence_delta=quiescence_delta,
+        )
+        self.monitor.start()
+        for ranker in self.rankers:
+            ranker.start()
+        monitor = self.monitor
+        stop = None
+        if target_relative_error is not None or quiescence_delta is not None:
+            def stop() -> bool:
+                return monitor.reached_target or monitor.reached_quiescence
+        self.sim.run(until=max_time, stop_condition=stop)
+        self.monitor.stop()
+
+        ranks = self.monitor.current_ranks()
+        return RunResult(
+            ranks=ranks,
+            reference=self.reference,
+            trace=self.monitor.trace,
+            converged=self.monitor.reached_target,
+            time_to_target=self.monitor.target_time,
+            outer_iterations=np.array(
+                [rk.node.outer_iterations for rk in self.rankers], dtype=np.int64
+            ),
+            inner_sweeps=np.array(
+                [rk.node.inner_sweeps for rk in self.rankers], dtype=np.int64
+            ),
+            traffic=self.accountant.snapshot(self.sim.now),
+            dropped_updates=self.transport.dropped_updates,
+            quiescent=self.monitor.reached_quiescence,
+            quiescence_time=self.monitor.quiescence_time,
+            config=cfg,
+        )
+
+
+def run_distributed_pagerank(
+    graph: WebGraph,
+    config: Optional[DistributedConfig] = None,
+    *,
+    partition: Optional[Partition] = None,
+    reference: Optional[np.ndarray] = None,
+    max_time: float = 1000.0,
+    target_relative_error: Optional[float] = None,
+    quiescence_delta: Optional[float] = None,
+    **config_overrides,
+) -> RunResult:
+    """One-call distributed PageRank.
+
+    Keyword overrides are applied on top of ``config`` (or the
+    defaults), e.g.::
+
+        result = run_distributed_pagerank(
+            graph, n_groups=100, algorithm="dpr2", delivery_prob=0.7,
+            t1=0, t2=15, target_relative_error=1e-4,
+        )
+    """
+    if config is None:
+        config = DistributedConfig(**config_overrides)
+    elif config_overrides:
+        from dataclasses import replace
+
+        config = replace(config, **config_overrides)
+    run = DistributedRun(graph, config, partition=partition, reference=reference)
+    return run.run(
+        max_time=max_time,
+        target_relative_error=target_relative_error,
+        quiescence_delta=quiescence_delta,
+    )

@@ -1,0 +1,240 @@
+"""DPR1 and DPR2 node state machines (paper §4.2, Algorithms 3 & 4).
+
+Both algorithms run the same outer loop on every ranker::
+
+    loop:
+        X ← refresh X          # newest afferent vectors received
+        R ← compute            # DPR1: GroupPageRank to convergence
+                               # DPR2: a single Jacobi sweep
+        Y ← efferent(R); send  # handled by the ranker/transport layer
+        wait
+
+:class:`DPRNode` implements the computational part — receive/refresh/
+compute — with no knowledge of timers or networking, so the identical
+state machine is exercised by the event simulator, by the synchronous
+test harness, and by the property-based tests.
+
+Refresh-X semantics: the node keeps, per source group, the newest
+:class:`~repro.net.message.ScoreUpdate` by generation (stale messages
+arriving late are discarded), and ``X`` is the sum over sources.  With
+``R0 = 0`` every group's rank sequence is monotone non-decreasing and
+bounded by the centralized fixed point (Theorems 4.1/4.2) — both
+properties are asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.jacobi import jacobi_solve, jacobi_sweep
+from repro.net.message import ScoreUpdate
+
+__all__ = ["DPRNode"]
+
+
+class DPRNode:
+    """One page ranker's algorithmic state.
+
+    Parameters
+    ----------
+    group:
+        This ranker's group index.
+    a_group:
+        The group's inner-link operator ``A_G`` (diagonal block).
+    beta_e:
+        The constant ``βE`` term over the group's local pages.
+    mode:
+        ``"dpr1"`` (solve to local convergence each outer loop) or
+        ``"dpr2"`` (one sweep per outer loop).
+    local_tol, max_inner:
+        Termination of the inner ``GroupPageRank`` solve (DPR1 only).
+    inner_solver:
+        ``"jacobi"`` (the paper's Algorithm 2) or ``"gauss_seidel"``
+        (extension: same fixed point, fewer sweeps — see
+        :mod:`repro.linalg.acceleration`).  DPR1 only.
+    r0:
+        Initial local rank vector ``S``; zeros by default (the paper's
+        choice for which the monotonicity theorems are stated).
+    """
+
+    def __init__(
+        self,
+        group: int,
+        a_group: sp.spmatrix,
+        beta_e: np.ndarray,
+        *,
+        mode: str = "dpr1",
+        local_tol: float = 1e-10,
+        max_inner: int = 1000,
+        inner_solver: str = "jacobi",
+        r0: Optional[np.ndarray] = None,
+    ):
+        if mode not in ("dpr1", "dpr2"):
+            raise ValueError(f"mode must be 'dpr1' or 'dpr2', got {mode!r}")
+        if inner_solver not in ("jacobi", "gauss_seidel"):
+            raise ValueError(
+                f"inner_solver must be 'jacobi' or 'gauss_seidel', got {inner_solver!r}"
+            )
+        self.group = int(group)
+        self.a_group = a_group
+        self.beta_e = np.asarray(beta_e, dtype=np.float64)
+        n_local = self.beta_e.shape[0]
+        if a_group.shape != (n_local, n_local):
+            raise ValueError(
+                f"operator shape {a_group.shape} incompatible with βE of size {n_local}"
+            )
+        self.mode = mode
+        self.local_tol = float(local_tol)
+        self.max_inner = int(max_inner)
+        self.inner_solver = inner_solver
+
+        self.r = (
+            np.zeros(n_local, dtype=np.float64)
+            if r0 is None
+            else np.array(r0, dtype=np.float64)
+        )
+        if self.r.shape != (n_local,):
+            raise ValueError(f"r0 shape {self.r.shape}, want ({n_local},)")
+
+        #: Newest afferent vector per source group.
+        self._latest_values: Dict[int, np.ndarray] = {}
+        self._latest_gen: Dict[int, int] = {}
+        #: Outer-loop count (the "iterations" of Fig 8 for DPR2; for
+        #: DPR1 one outer loop may contain many inner sweeps).
+        self.outer_iterations = 0
+        #: ‖R_new − R_old‖₁ of the most recent outer step — the local
+        #: quantity Theorem 3.3 turns into a distance-to-fixed-point
+        #: bound, used for distributed termination detection.
+        self.last_step_delta = float("inf")
+        #: Total Jacobi sweeps performed (inner iterations included).
+        self.inner_sweeps = 0
+        #: Updates discarded because a newer generation was already held.
+        self.stale_updates = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_local(self) -> int:
+        return self.r.shape[0]
+
+    def receive(self, update: ScoreUpdate) -> None:
+        """Accept an afferent update; keep only the newest per source.
+
+        Out-of-order delivery is expected under the asynchronous
+        simulator — indirect transmission can reorder packages — and
+        the generation stamp makes refresh idempotent.
+        """
+        if update.dst_group != self.group:
+            raise ValueError(
+                f"update for group {update.dst_group} delivered to group {self.group}"
+            )
+        if update.values.shape != (self.n_local,):
+            raise ValueError(
+                f"update vector shape {update.values.shape}, want ({self.n_local},)"
+            )
+        src = update.src_group
+        if src in self._latest_gen and update.generation <= self._latest_gen[src]:
+            self.stale_updates += 1
+            return
+        self._latest_gen[src] = update.generation
+        self._latest_values[src] = update.values
+
+    def refresh_x(self) -> np.ndarray:
+        """The "Refresh X" step: sum of newest per-source vectors."""
+        x = np.zeros(self.n_local, dtype=np.float64)
+        for vec in self._latest_values.values():
+            x += vec
+        return x
+
+    def step(self) -> np.ndarray:
+        """One outer loop: refresh X, recompute R; returns the new R.
+
+        DPR1 runs ``GroupPageRank(R_i, X_{i+1})`` — a full Jacobi solve
+        warm-started from the previous local ranks; DPR2 performs a
+        single sweep ``R ← A_G R + βE + X``.
+        """
+        x = self.refresh_x()
+        f = self.beta_e + x
+        if self.n_local == 0:
+            self.outer_iterations += 1
+            self.last_step_delta = 0.0
+            return self.r
+        r_before = self.r
+        if self.mode == "dpr1":
+            if self.inner_solver == "gauss_seidel":
+                from repro.linalg.acceleration import gauss_seidel_solve
+
+                res = gauss_seidel_solve(
+                    self.a_group, f, x0=self.r,
+                    tol=self.local_tol, max_iter=self.max_inner,
+                )
+            else:
+                res = jacobi_solve(
+                    self.a_group, f, x0=self.r,
+                    tol=self.local_tol, max_iter=self.max_inner,
+                )
+            self.r = res.x
+            self.inner_sweeps += res.iterations
+        else:
+            self.r = jacobi_sweep(self.a_group, self.r, f)
+            self.inner_sweeps += 1
+        self.last_step_delta = float(np.abs(self.r - r_before).sum())
+        self.outer_iterations += 1
+        return self.r
+
+    # ------------------------------------------------------------------
+    # Checkpointing (paper §4.2: nodes "may even shutdown")
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of all mutable algorithm state.
+
+        A ranker that shuts down mid-run can persist this and, on
+        restart, resume exactly where it left off — the generation
+        stamps make re-delivered afferent updates harmless.
+        """
+        return {
+            "group": self.group,
+            "mode": self.mode,
+            "r": self.r.copy(),
+            "latest_values": {s: v.copy() for s, v in self._latest_values.items()},
+            "latest_gen": dict(self._latest_gen),
+            "outer_iterations": self.outer_iterations,
+            "inner_sweeps": self.inner_sweeps,
+            "stale_updates": self.stale_updates,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The operator and βE term are reconstruction-time inputs (they
+        derive from the graph), so only the mutable state is restored;
+        group and mode must match.
+        """
+        if state["group"] != self.group:
+            raise ValueError(
+                f"checkpoint is for group {state['group']}, node is group {self.group}"
+            )
+        if state["mode"] != self.mode:
+            raise ValueError(
+                f"checkpoint mode {state['mode']!r} != node mode {self.mode!r}"
+            )
+        r = np.asarray(state["r"], dtype=np.float64)
+        if r.shape != (self.n_local,):
+            raise ValueError(f"checkpoint r has shape {r.shape}, want ({self.n_local},)")
+        self.r = r.copy()
+        self._latest_values = {
+            int(s): np.asarray(v, dtype=np.float64).copy()
+            for s, v in state["latest_values"].items()
+        }
+        self._latest_gen = {int(s): int(g) for s, g in state["latest_gen"].items()}
+        self.outer_iterations = int(state["outer_iterations"])
+        self.inner_sweeps = int(state["inner_sweeps"])
+        self.stale_updates = int(state["stale_updates"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DPRNode(group={self.group}, mode={self.mode}, pages={self.n_local}, "
+            f"outer={self.outer_iterations})"
+        )

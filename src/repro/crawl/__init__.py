@@ -1,0 +1,36 @@
+"""Crawling substrate: the hidden web and incremental crawlers.
+
+Paper Fig 1 distinguishes three scopes: the whole web **W**, the pages
+crawled by the search engine **C**, and a page group **G** on one
+ranker.  Everything in :mod:`repro.graph` models **C** directly; this
+package models **W** and the process that turns it into a growing
+**C**:
+
+* :class:`~repro.crawl.trueweb.TrueWeb` — a full (closed) web that
+  exists independently of what has been crawled, supporting link
+  churn over time (pages edit their links).
+* :class:`~repro.crawl.crawler.Crawler` — an incremental frontier
+  crawler over a TrueWeb: seeds, per-step page budgets, and *revisits*
+  that refresh stale pages (the behaviour §4.1 cites as the reason
+  random partitioning is unusable).  Its :meth:`snapshot` is a
+  :class:`~repro.graph.webgraph.WebGraph` whose ``external_out``
+  counts are exactly the links from crawled to not-yet-crawled pages —
+  the paper's open-system boundary arises from the crawl frontier
+  itself rather than being synthesized.
+* :func:`~repro.crawl.online.online_distributed_pagerank` — the
+  "doing more experiments … with dynamic link graphs" future-work
+  item: ranks a crawl *while it grows*, warm-starting each phase from
+  the previous ranks, and reports how tracking error evolves.
+"""
+
+from repro.crawl.trueweb import TrueWeb
+from repro.crawl.crawler import Crawler, CrawlStats
+from repro.crawl.online import OnlinePhase, online_distributed_pagerank
+
+__all__ = [
+    "TrueWeb",
+    "Crawler",
+    "CrawlStats",
+    "OnlinePhase",
+    "online_distributed_pagerank",
+]

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every experiment returns a result object with ``rows()`` (raw data)
+and ``format()`` (a paper-shaped text table), so tests can assert on
+shapes and benches can print the reproduction next to the published
+values.
+
+Scaling: the paper's runs use ~1M pages and up to 10 000 rankers; the
+defaults here are scaled down (see DESIGN.md §2) and every size is a
+parameter — pass ``scale`` or explicit sizes to go bigger.
+"""
+
+from repro.experiments.workloads import default_graph, DEFAULT_CONFIGS, ExperimentScale
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.ablations import (
+    PartitioningResult,
+    run_partitioning_ablation,
+    TransportResult,
+    run_transport_comparison,
+    CompressionResult,
+    run_compression_ablation,
+    OverlayHopsResult,
+    run_overlay_hops,
+    TradeoffResult,
+    run_time_vs_bandwidth,
+)
+from repro.experiments.report import ReproductionReport, run_all, EXPERIMENTS
+
+__all__ = [
+    "default_graph",
+    "DEFAULT_CONFIGS",
+    "ExperimentScale",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "Table1Result",
+    "run_table1",
+    "PartitioningResult",
+    "run_partitioning_ablation",
+    "TransportResult",
+    "run_transport_comparison",
+    "CompressionResult",
+    "run_compression_ablation",
+    "OverlayHopsResult",
+    "run_overlay_hops",
+    "TradeoffResult",
+    "run_time_vs_bandwidth",
+    "ReproductionReport",
+    "run_all",
+    "EXPERIMENTS",
+]

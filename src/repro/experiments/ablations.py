@@ -1,0 +1,382 @@
+"""Ablation experiments backing the paper's design arguments.
+
+* :func:`run_partitioning_ablation` — §4.1's claim that hash-by-site
+  partitioning slashes cross-ranker traffic relative to random or
+  URL-hash placement.
+* :func:`run_transport_comparison` — §4.4's message/byte trade-off
+  between direct and indirect transmission, measured end-to-end and
+  compared with formulas 4.1–4.4.
+* :func:`run_compression_ablation` — the paper's future-work note on
+  reducing traffic, realized as delta suppression (only re-send an
+  efferent vector when it changed by more than a threshold).
+* :func:`run_overlay_hops` — hop/neighbor scaling of the four
+  overlay families (the ``h`` and ``g`` inputs of the cost model).
+* :func:`run_time_vs_bandwidth` — §4.5's convergence-time-vs-bandwidth
+  trade-off, measured in simulation rather than derived analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.cost_model import (
+    direct_messages,
+    indirect_messages,
+)
+from repro.analysis.reporting import format_table
+from repro.core.coordinator import RunResult, run_distributed_pagerank
+from repro.core.pagerank import pagerank_open
+from repro.experiments.workloads import ExperimentScale, default_graph
+from repro.graph.partition import make_partition
+from repro.graph.stats import partition_cut_statistics
+from repro.graph.webgraph import WebGraph
+from repro.overlay import build_overlay
+from repro.overlay.metrics import hop_statistics, neighbor_statistics
+
+__all__ = [
+    "PartitioningResult",
+    "run_partitioning_ablation",
+    "TransportResult",
+    "run_transport_comparison",
+    "CompressionResult",
+    "run_compression_ablation",
+    "OverlayHopsResult",
+    "run_overlay_hops",
+    "TradeoffResult",
+    "run_time_vs_bandwidth",
+]
+
+
+# ----------------------------------------------------------------------
+# §4.1 — partitioning strategies
+# ----------------------------------------------------------------------
+@dataclass
+class PartitioningResult:
+    """Cut statistics and measured traffic per strategy."""
+
+    n_groups: int
+    cut_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    run_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        """Raw result rows (one tuple per table line)."""
+        return [
+            (
+                strategy,
+                stats["n_cut_links"],
+                stats["cut_fraction"],
+                float(self.run_bytes.get(strategy, -1)),
+            )
+            for strategy, stats in self.cut_stats.items()
+        ]
+
+    def format(self) -> str:
+        """Paper-shaped text table(s) of this result."""
+        return format_table(
+            ["strategy", "cut links", "cut fraction", "bytes to converge"],
+            self.rows(),
+            title=f"§4.1 — partitioning strategies (K={self.n_groups})",
+        )
+
+
+def run_partitioning_ablation(
+    graph: WebGraph = None,
+    *,
+    n_groups: int = 16,
+    strategies: Sequence[str] = ("random", "url", "site"),
+    scale: ExperimentScale = ExperimentScale(),
+    seed: int = 19,
+    measure_traffic: bool = True,
+    max_time: float = 400.0,
+) -> PartitioningResult:
+    """Compare partitioning strategies by cut size and real traffic."""
+    if graph is None:
+        graph = default_graph(scale)
+    reference = pagerank_open(graph).ranks
+    result = PartitioningResult(n_groups=n_groups)
+    for strategy in strategies:
+        part = make_partition(graph, n_groups, strategy, seed=seed)
+        result.cut_stats[strategy] = partition_cut_statistics(graph, part).as_dict()
+        if measure_traffic:
+            res = run_distributed_pagerank(
+                graph,
+                n_groups=n_groups,
+                partition=part,
+                partition_strategy=strategy,
+                algorithm="dpr1",
+                t1=3.0,
+                t2=3.0,
+                seed=seed,
+                reference=reference,
+                target_relative_error=1e-4,
+                max_time=max_time,
+            )
+            result.run_bytes[strategy] = res.traffic.total_bytes
+    return result
+
+
+# ----------------------------------------------------------------------
+# §4.4 — direct vs indirect transmission
+# ----------------------------------------------------------------------
+@dataclass
+class TransportResult:
+    """Measured traffic of both transports on the same workload."""
+
+    n_groups: int
+    overlay_hops: float
+    overlay_neighbors: float
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple[str, int, int, int, float]]:
+        """Raw result rows (one tuple per table line)."""
+        out = []
+        for kind, res in self.runs.items():
+            iters = max(int(res.trace.max_outer_iterations[-1]), 1)
+            out.append(
+                (
+                    kind,
+                    res.traffic.total_messages,
+                    res.traffic.data_messages,
+                    res.traffic.total_bytes,
+                    res.traffic.total_messages / iters,
+                )
+            )
+        return out
+
+    def predicted_messages_per_iteration(self) -> Dict[str, float]:
+        """Formulas 4.3 / 4.4 evaluated at this run's N, g, h."""
+        return {
+            "indirect": indirect_messages(self.n_groups, self.overlay_neighbors),
+            "direct": direct_messages(self.n_groups, self.overlay_hops),
+        }
+
+    def format(self) -> str:
+        """Paper-shaped text table(s) of this result."""
+        body = format_table(
+            ["transport", "messages", "data msgs", "bytes", "msgs/iteration"],
+            self.rows(),
+            title=f"§4.4 — direct vs indirect transmission (N={self.n_groups})",
+        )
+        pred = self.predicted_messages_per_iteration()
+        return (
+            body
+            + f"\npredicted msgs/iter — indirect gN = {pred['indirect']:.0f},"
+            + f" direct (h+1)N² = {pred['direct']:.0f}"
+        )
+
+
+def run_transport_comparison(
+    graph: WebGraph = None,
+    *,
+    n_groups: int = 32,
+    scale: ExperimentScale = ExperimentScale(),
+    seed: int = 23,
+    max_time: float = 400.0,
+) -> TransportResult:
+    """Run DPR1 to convergence over both transports; report traffic."""
+    if graph is None:
+        graph = default_graph(scale)
+    reference = pagerank_open(graph).ranks
+    overlay = build_overlay("pastry", n_groups, seed=seed)
+    result = TransportResult(
+        n_groups=n_groups,
+        overlay_hops=hop_statistics(overlay, 300, seed=seed).mean,
+        overlay_neighbors=neighbor_statistics(overlay)["mean"],
+    )
+    for kind in ("indirect", "direct"):
+        result.runs[kind] = run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            transport=kind,
+            algorithm="dpr1",
+            partition_strategy="url",
+            t1=3.0,
+            t2=3.0,
+            seed=seed,
+            reference=reference,
+            target_relative_error=1e-4,
+            max_time=max_time,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Future-work: traffic reduction by delta suppression
+# ----------------------------------------------------------------------
+@dataclass
+class CompressionResult:
+    """Traffic/accuracy trade-off of delta suppression."""
+
+    thresholds: List[float] = field(default_factory=list)
+    bytes_used: List[int] = field(default_factory=list)
+    messages: List[int] = field(default_factory=list)
+    final_errors: List[float] = field(default_factory=list)
+
+    def rows(self) -> List[Tuple[float, int, int, float]]:
+        """Raw result rows (one tuple per table line)."""
+        return list(
+            zip(self.thresholds, self.bytes_used, self.messages, self.final_errors)
+        )
+
+    def format(self) -> str:
+        """Paper-shaped text table(s) of this result."""
+        return format_table(
+            ["suppress tol", "bytes", "messages", "final rel err"],
+            self.rows(),
+            title="future-work — delta suppression of efferent updates",
+        )
+
+
+def run_compression_ablation(
+    graph: WebGraph = None,
+    *,
+    n_groups: int = 16,
+    thresholds: Sequence[float] = (0.0, 1e-8, 1e-4, 1e-2),
+    scale: ExperimentScale = ExperimentScale(),
+    seed: int = 29,
+    max_time: float = 120.0,
+) -> CompressionResult:
+    """Sweep the delta-suppression threshold; measure traffic vs error."""
+    if graph is None:
+        graph = default_graph(scale)
+    reference = pagerank_open(graph).ranks
+    result = CompressionResult()
+    for tol in thresholds:
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            algorithm="dpr1",
+            partition_strategy="url",
+            t1=3.0,
+            t2=3.0,
+            suppress_tol=float(tol),
+            seed=seed,
+            reference=reference,
+            max_time=max_time,
+        )
+        result.thresholds.append(float(tol))
+        result.bytes_used.append(res.traffic.total_bytes)
+        result.messages.append(res.traffic.total_messages)
+        result.final_errors.append(res.final_relative_error)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §4.5 — convergence time vs bandwidth, measured
+# ----------------------------------------------------------------------
+@dataclass
+class TradeoffResult:
+    """Measured §4.5 trade-off: iteration cadence vs bandwidth rate."""
+
+    wait_means: List[float] = field(default_factory=list)
+    times_to_target: List[float] = field(default_factory=list)
+    bytes_total: List[int] = field(default_factory=list)
+    bytes_per_time_unit: List[float] = field(default_factory=list)
+
+    def rows(self) -> List[Tuple[float, float, int, float]]:
+        """Raw result rows (one tuple per table line)."""
+        return list(
+            zip(
+                self.wait_means,
+                self.times_to_target,
+                self.bytes_total,
+                self.bytes_per_time_unit,
+            )
+        )
+
+    def format(self) -> str:
+        """Paper-shaped text table(s) of this result."""
+        return format_table(
+            ["iteration interval T", "time to converge", "total bytes", "bytes / time unit"],
+            self.rows(),
+            title="§4.5 — convergence time vs bandwidth (DPR1)",
+        )
+
+
+def run_time_vs_bandwidth(
+    graph: WebGraph = None,
+    *,
+    n_groups: int = 16,
+    wait_means: Sequence[float] = (1.0, 3.0, 9.0),
+    scale: ExperimentScale = ExperimentScale(),
+    seed: int = 37,
+    target: float = 1e-4,
+    max_time: float = 3000.0,
+) -> TradeoffResult:
+    """Measure §4.5's trade-off end to end.
+
+    The paper derives it analytically: the bisection constraint forces
+    a *minimum* iteration interval T, and a larger T means slower
+    convergence.  Here we sweep the rankers' wait time (the simulated
+    T) and measure both sides: wall time to the 0.01% target grows
+    ~linearly with T, while the bandwidth *rate* (bytes per time unit)
+    shrinks ~inversely — total bytes to converge stays roughly flat.
+    """
+    if graph is None:
+        graph = default_graph(scale)
+    reference = pagerank_open(graph, tol=1e-12).ranks
+    result = TradeoffResult()
+    for t in wait_means:
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            algorithm="dpr1",
+            partition_strategy="site",
+            t1=float(t),
+            t2=float(t),
+            seed=seed,
+            reference=reference,
+            target_relative_error=target,
+            max_time=max_time,
+        )
+        duration = res.time_to_target if res.converged else max_time
+        result.wait_means.append(float(t))
+        result.times_to_target.append(float(duration))
+        result.bytes_total.append(res.traffic.total_bytes)
+        result.bytes_per_time_unit.append(
+            res.traffic.total_bytes / max(duration, 1e-9)
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Overlay scaling (the h and g inputs of §4.5)
+# ----------------------------------------------------------------------
+@dataclass
+class OverlayHopsResult:
+    """Hop/neighbor statistics across overlay kinds and sizes."""
+
+    rows_data: List[Tuple[str, int, float, float, float]] = field(default_factory=list)
+
+    def rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """Raw result rows (one tuple per table line)."""
+        return self.rows_data
+
+    def format(self) -> str:
+        """Paper-shaped text table(s) of this result."""
+        return format_table(
+            ["overlay", "nodes", "mean hops", "p95 hops", "mean neighbors"],
+            self.rows_data,
+            title="overlay routing — h and g vs network size",
+        )
+
+
+def run_overlay_hops(
+    *,
+    kinds: Sequence[str] = ("pastry", "tapestry", "chord", "can"),
+    ns: Sequence[int] = (100, 1_000, 10_000),
+    samples: int = 300,
+    seed: int = 31,
+) -> OverlayHopsResult:
+    """Measure mean hops and neighbor counts for each overlay/size."""
+    result = OverlayHopsResult()
+    for kind in kinds:
+        for n in ns:
+            overlay = build_overlay(kind, int(n), seed=seed)
+            hs = hop_statistics(overlay, samples, seed=seed)
+            ns_stats = neighbor_statistics(overlay, max_nodes=500, seed=seed)
+            result.rows_data.append(
+                (kind, int(n), hs.mean, hs.p95, ns_stats["mean"])
+            )
+    return result

@@ -1,0 +1,129 @@
+"""One-shot reproduction report.
+
+:func:`run_all` executes every experiment in the suite — the four
+paper artifacts plus the ablations — and assembles a single text
+report (optionally writing each table to a directory).  This is the
+programmatic equivalent of running the full benchmark suite, intended
+for ``python -m repro all`` and for users who want the complete
+paper-vs-measured story in one call.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.ablations import (
+    run_compression_ablation,
+    run_overlay_hops,
+    run_partitioning_ablation,
+    run_time_vs_bandwidth,
+    run_transport_comparison,
+)
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table1 import run_table1
+from repro.experiments.workloads import ExperimentScale, default_graph
+
+__all__ = ["ReproductionReport", "run_all", "EXPERIMENTS"]
+
+#: Experiment registry: name -> callable(graph, scale) -> result object.
+EXPERIMENTS = (
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "partitioning",
+    "transport",
+    "compression",
+    "overlay_hops",
+    "tradeoff",
+)
+
+
+@dataclass
+class ReproductionReport:
+    """Results and formatted tables of a full reproduction run."""
+
+    scale: ExperimentScale
+    results: Dict[str, object] = field(default_factory=dict)
+    sections: Dict[str, str] = field(default_factory=dict)
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """The whole report as one text document."""
+        header = (
+            "Reproduction report — Distributed Page Ranking in Structured "
+            "P2P Networks (ICPP 2003)\n"
+            f"workload: {self.scale.n_pages} pages / {self.scale.n_sites} sites "
+            f"(seed {self.scale.seed})\n"
+        )
+        parts = [header]
+        for name in self.sections:
+            parts.append(
+                f"{'=' * 70}\n[{name}]  ({self.durations.get(name, 0.0):.1f}s)\n"
+            )
+            parts.append(self.sections[name])
+        return "\n".join(parts)
+
+    def save(self, directory: Union[str, os.PathLike]) -> None:
+        """Write one ``<name>.txt`` per experiment plus ``report.txt``."""
+        os.makedirs(directory, exist_ok=True)
+        for name, text in self.sections.items():
+            with open(os.path.join(directory, f"{name}.txt"), "w") as fh:
+                fh.write(text + "\n")
+        with open(os.path.join(directory, "report.txt"), "w") as fh:
+            fh.write(self.format() + "\n")
+
+
+def run_all(
+    *,
+    scale: ExperimentScale = ExperimentScale(),
+    only: Optional[Sequence[str]] = None,
+    out_dir: Optional[Union[str, os.PathLike]] = None,
+    fig8_ks: Sequence[int] = (2, 10, 100, 256),
+    table1_ns: Sequence[int] = (1_000, 10_000, 100_000),
+) -> ReproductionReport:
+    """Run the (selected) experiment suite on one shared workload.
+
+    Parameters
+    ----------
+    scale:
+        Workload size; one graph is generated and shared by every
+        graph-based experiment so results are comparable.
+    only:
+        Subset of :data:`EXPERIMENTS` names to run (default: all).
+    out_dir:
+        When given, tables are written there as they complete.
+    """
+    selected = list(EXPERIMENTS if only is None else only)
+    unknown = set(selected) - set(EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown experiments: {sorted(unknown)}")
+
+    graph = default_graph(scale)
+    report = ReproductionReport(scale=scale)
+
+    runners = {
+        "table1": lambda: run_table1(ns=table1_ns),
+        "fig6": lambda: run_fig6(graph, n_groups=64, max_time=90.0),
+        "fig7": lambda: run_fig7(graph, n_groups=100, max_time=90.0),
+        "fig8": lambda: run_fig8(graph, ks=fig8_ks),
+        "partitioning": lambda: run_partitioning_ablation(graph, n_groups=16),
+        "transport": lambda: run_transport_comparison(graph, n_groups=48),
+        "compression": lambda: run_compression_ablation(graph, n_groups=16),
+        "overlay_hops": lambda: run_overlay_hops(ns=(100, 1_000, 10_000)),
+        "tradeoff": lambda: run_time_vs_bandwidth(graph, n_groups=16),
+    }
+    for name in selected:
+        t0 = time.time()
+        result = runners[name]()
+        report.durations[name] = time.time() - t0
+        report.results[name] = result
+        report.sections[name] = result.format()
+        if out_dir is not None:
+            report.save(out_dir)
+    return report

@@ -1,0 +1,67 @@
+"""Shared workload construction for the experiment suite.
+
+The paper's dataset (Google programming-contest crawl) is modelled by
+:func:`~repro.graph.generators.google_contest_like`; this module pins
+the generator parameters to the paper's reported statistics and
+provides the three (p, T1, T2) configurations labelled A/B/C in
+Figs 6–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.graph.generators import google_contest_like
+from repro.graph.webgraph import WebGraph
+
+__all__ = ["ExperimentScale", "default_graph", "DEFAULT_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload size knobs, defaulting to a laptop-friendly scale.
+
+    The paper's experiments use ~1M pages / 100 sites.  The statistics
+    the figures depend on (convergence shape, monotonicity,
+    K-insensitivity) are scale-free; ``n_pages`` here trades wall time
+    for fidelity of absolute magnitudes only.
+    """
+
+    n_pages: int = 4000
+    n_sites: int = 100
+    seed: int = 2003  # the paper's year, for flavour
+
+    def scaled(self, factor: float) -> "ExperimentScale":
+        """A proportionally larger/smaller workload."""
+        return ExperimentScale(
+            n_pages=max(100, int(self.n_pages * factor)),
+            n_sites=self.n_sites,
+            seed=self.seed,
+        )
+
+
+def default_graph(scale: ExperimentScale = ExperimentScale()) -> WebGraph:
+    """The contest-like graph all figure experiments run on.
+
+    Parameters pinned to the paper's dataset statistics: mean
+    out-degree 15, 7/15 of links internal, ~90% of internal links
+    intra-site.
+    """
+    return google_contest_like(
+        n_pages=scale.n_pages,
+        n_sites=min(scale.n_sites, scale.n_pages),
+        mean_out_degree=15.0,
+        internal_link_fraction=7.0 / 15.0,
+        intra_site_fraction=0.9,
+        seed=scale.seed,
+    )
+
+
+#: The paper's three experiment configurations (Figs 6 and 7):
+#: label -> (delivery probability p, T1, T2).
+DEFAULT_CONFIGS: Dict[str, Tuple[float, float, float]] = {
+    "A": (1.0, 0.0, 6.0),
+    "B": (0.7, 0.0, 6.0),
+    "C": (0.7, 0.0, 15.0),
+}

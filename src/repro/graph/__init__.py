@@ -1,0 +1,80 @@
+"""Web link-graph substrate.
+
+The paper's experiments run on a crawl of ~1M pages from 100 ``edu``
+sites (the Google programming-contest dataset).  That dataset is not
+redistributable, so this package provides:
+
+* :class:`~repro.graph.webgraph.WebGraph` — an immutable CSR link graph
+  that models *open systems*: pages carry a count of out-links that
+  leave the crawl entirely (the paper's dataset has 8M of 15M links
+  pointing outside), and every page belongs to a *site*.
+* :mod:`~repro.graph.generators` — synthetic generators, most notably
+  :func:`~repro.graph.generators.google_contest_like`, matched to the
+  aggregate statistics the paper reports.
+* :mod:`~repro.graph.partition` — the three partitioning strategies of
+  paper §4.1 (random, hash-by-URL, hash-by-site).
+* :mod:`~repro.graph.stats` — structural statistics (degree
+  distributions, intra-site link fraction, partition cut metrics).
+* :mod:`~repro.graph.io` — simple text/NPZ persistence.
+"""
+
+from repro.graph.webgraph import WebGraph
+from repro.graph.generators import (
+    google_contest_like,
+    erdos_renyi_web,
+    ring_web,
+    star_web,
+    complete_web,
+    two_site_web,
+    powerlaw_cluster_web,
+)
+from repro.graph.partition import (
+    Partition,
+    partition_random,
+    partition_by_url_hash,
+    partition_by_site_hash,
+    partition_rendezvous,
+    partition_contiguous,
+    make_partition,
+)
+from repro.graph.stats import (
+    degree_statistics,
+    intra_site_link_fraction,
+    internal_link_fraction,
+    partition_cut_statistics,
+    GraphSummary,
+    summarize,
+)
+from repro.graph.io import save_webgraph, load_webgraph
+from repro.graph.datasets import paper_dataset, load_snap_edge_list
+from repro.graph.validation import check_webgraph, WebGraphInvariantError
+
+__all__ = [
+    "WebGraph",
+    "google_contest_like",
+    "erdos_renyi_web",
+    "ring_web",
+    "star_web",
+    "complete_web",
+    "two_site_web",
+    "powerlaw_cluster_web",
+    "Partition",
+    "partition_random",
+    "partition_by_url_hash",
+    "partition_by_site_hash",
+    "partition_rendezvous",
+    "partition_contiguous",
+    "make_partition",
+    "degree_statistics",
+    "intra_site_link_fraction",
+    "internal_link_fraction",
+    "partition_cut_statistics",
+    "GraphSummary",
+    "summarize",
+    "save_webgraph",
+    "load_webgraph",
+    "paper_dataset",
+    "load_snap_edge_list",
+    "check_webgraph",
+    "WebGraphInvariantError",
+]

@@ -1,0 +1,61 @@
+"""Persistence for :class:`~repro.graph.webgraph.WebGraph`.
+
+Graphs are stored as a single ``.npz`` archive holding the CSR arrays,
+site assignment, external-link counts and site names.  The format is
+versioned so future layouts can coexist.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.graph.webgraph import WebGraph
+
+__all__ = ["save_webgraph", "load_webgraph", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_webgraph(graph: WebGraph, path: Union[str, os.PathLike]) -> None:
+    """Serialize ``graph`` to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        n_pages=np.int64(graph.n_pages),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        site_of=graph.site_of,
+        external_out=graph.external_out,
+        site_names=np.array(graph.site_names, dtype=object),
+    )
+
+
+def load_webgraph(path: Union[str, os.PathLike]) -> WebGraph:
+    """Load a graph previously written by :func:`save_webgraph`."""
+    with np.load(path, allow_pickle=True) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported webgraph format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        n_pages = int(data["n_pages"])
+        indptr = data["indptr"]
+        indices = data["indices"]
+        src = np.repeat(np.arange(n_pages, dtype=np.int64), np.diff(indptr))
+        graph = WebGraph(
+            n_pages,
+            src,
+            indices,
+            site_of=data["site_of"],
+            external_out=data["external_out"],
+            site_names=tuple(str(s) for s in data["site_names"]),
+        )
+    # Deserialized data is untrusted: verify structural invariants.
+    from repro.graph.validation import check_webgraph
+
+    check_webgraph(graph)
+    return graph

@@ -1,0 +1,267 @@
+"""Page partitioning strategies (paper §4.1).
+
+The paper considers three ways of dividing crawled pages among the K
+page rankers:
+
+1. **Random** — rejected by the paper: a recrawled page can land on a
+   different ranker each time.  We implement it (seeded, hence actually
+   repeatable *given the same seed*) because it is the baseline the
+   other strategies are compared against.
+2. **Hash of page URL** — stable, but splits sites across rankers, so
+   ~all inter-page links become cross-ranker traffic.
+3. **Hash of website** — the paper's recommendation: since ~90% of
+   links are intra-site, placing whole sites keeps most links local
+   and slashes the communication volume.
+
+A :class:`Partition` is the mapping ``page -> group`` plus derived
+indexes used by the distributed rankers (group page lists, global->
+local index translation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.webgraph import WebGraph
+from repro.utils.hashing import stable_uint64
+from repro.utils.rng import as_generator, RngLike
+
+__all__ = [
+    "Partition",
+    "partition_random",
+    "partition_by_url_hash",
+    "partition_by_site_hash",
+    "partition_rendezvous",
+    "partition_contiguous",
+    "make_partition",
+    "STRATEGIES",
+]
+
+
+class Partition:
+    """Assignment of every page to one of ``n_groups`` page rankers.
+
+    Attributes
+    ----------
+    group_of:
+        ``int64[n_pages]`` array mapping page id -> group id.
+    n_groups:
+        Number of groups (page rankers), ``K`` in the paper.  Groups
+        may be empty; empty groups simply hold no pages.
+    """
+
+    __slots__ = ("group_of", "n_groups", "_pages_by_group", "_local_index")
+
+    def __init__(self, group_of: np.ndarray, n_groups: int):
+        group_of = np.asarray(group_of, dtype=np.int64)
+        if group_of.ndim != 1:
+            raise ValueError("group_of must be a 1-D array")
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if group_of.size and (group_of.min() < 0 or group_of.max() >= n_groups):
+            raise ValueError("group ids must lie in [0, n_groups)")
+        self.group_of = group_of
+        self.n_groups = int(n_groups)
+        self._pages_by_group: Optional[List[np.ndarray]] = None
+        self._local_index: Optional[np.ndarray] = None
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.group_of.size)
+
+    def pages_of_group(self, group: int) -> np.ndarray:
+        """Sorted page ids owned by ``group``."""
+        return self._by_group()[group]
+
+    def _by_group(self) -> List[np.ndarray]:
+        if self._pages_by_group is None:
+            order = np.argsort(self.group_of, kind="stable")
+            sorted_groups = self.group_of[order]
+            boundaries = np.searchsorted(
+                sorted_groups, np.arange(self.n_groups + 1)
+            )
+            self._pages_by_group = [
+                order[boundaries[g] : boundaries[g + 1]]
+                for g in range(self.n_groups)
+            ]
+        return self._pages_by_group
+
+    def local_index(self) -> np.ndarray:
+        """``int64[n_pages]``: each page's index within its group's page list."""
+        if self._local_index is None:
+            idx = np.empty(self.n_pages, dtype=np.int64)
+            for g, pages in enumerate(self._by_group()):
+                idx[pages] = np.arange(pages.size)
+            self._local_index = idx
+        return self._local_index
+
+    def group_sizes(self) -> np.ndarray:
+        """Number of pages in each group."""
+        return np.bincount(self.group_of, minlength=self.n_groups)
+
+    def imbalance(self) -> float:
+        """max/mean group size; 1.0 is perfectly balanced."""
+        sizes = self.group_sizes()
+        mean = sizes.mean()
+        if mean == 0:
+            return 1.0
+        return float(sizes.max() / mean)
+
+    def __repr__(self) -> str:
+        return f"Partition(n_pages={self.n_pages}, n_groups={self.n_groups})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.n_groups == other.n_groups and np.array_equal(
+            self.group_of, other.group_of
+        )
+
+
+def partition_random(graph: WebGraph, n_groups: int, *, seed: RngLike = 0) -> Partition:
+    """Assign every page to a uniformly random group.
+
+    The paper rejects this strategy for production use because a
+    revisit of the same page may be assigned elsewhere; it remains the
+    natural baseline for cut-size comparisons.
+    """
+    rng = as_generator(seed)
+    return Partition(rng.integers(0, n_groups, size=graph.n_pages), n_groups)
+
+
+def partition_by_url_hash(
+    graph: WebGraph, n_groups: int, *, salt: str = ""
+) -> Partition:
+    """Assign each page by a stable hash of its URL.
+
+    Deterministic across runs and processes (SHA-1 based), so a
+    re-crawled page always returns to the same ranker — but pages of
+    one site scatter across all groups.
+    """
+    group_of = np.fromiter(
+        (
+            stable_uint64(graph.url_of(p), salt=f"url:{salt}") % n_groups
+            for p in range(graph.n_pages)
+        ),
+        dtype=np.int64,
+        count=graph.n_pages,
+    )
+    return Partition(group_of, n_groups)
+
+
+def partition_by_site_hash(
+    graph: WebGraph, n_groups: int, *, salt: str = ""
+) -> Partition:
+    """Assign each page by a stable hash of its site hostname.
+
+    The paper's recommended strategy (§4.1): whole sites stay together,
+    so the ~90% intra-site links never cross ranker boundaries.
+    """
+    site_group = np.fromiter(
+        (
+            stable_uint64(name, salt=f"site:{salt}") % n_groups
+            for name in graph.site_names
+        ),
+        dtype=np.int64,
+        count=graph.n_sites,
+    )
+    if graph.n_pages and graph.n_sites == 0:
+        raise ValueError("graph has pages but no sites")
+    group_of = site_group[graph.site_of] if graph.n_pages else np.zeros(0, np.int64)
+    return Partition(group_of, n_groups)
+
+
+def partition_rendezvous(
+    graph: WebGraph,
+    n_groups: int,
+    *,
+    salt: str = "",
+    alive: Optional[Sequence[int]] = None,
+) -> Partition:
+    """Assign sites by rendezvous (highest-random-weight) hashing.
+
+    Extension beyond the paper: like hash-by-site, whole sites stay
+    together and placement is stable across re-crawls — but unlike
+    ``site_hash % K``, membership changes move the *minimum* number of
+    sites.  When ranker ``g`` leaves, only the sites it owned move
+    (each to its second-highest-weight ranker); every other page stays
+    put.  This is the property a long-lived, self-organizing P2P
+    deployment actually needs, since modding by K reshuffles nearly
+    everything whenever K changes.
+
+    Parameters
+    ----------
+    alive:
+        The subset of group ids currently accepting pages (default:
+        all).  Dead groups receive no pages but keep their ids, so a
+        partition after ``alive=[0,2,3]`` is still over ``n_groups``
+        groups with group 1 empty.
+    """
+    if alive is None:
+        alive_list = list(range(n_groups))
+    else:
+        alive_list = sorted(set(int(g) for g in alive))
+        if not alive_list:
+            raise ValueError("alive must contain at least one group")
+        if alive_list[0] < 0 or alive_list[-1] >= n_groups:
+            raise ValueError("alive ids must lie in [0, n_groups)")
+
+    site_group = np.empty(max(graph.n_sites, 1), dtype=np.int64)
+    for site_id, name in enumerate(graph.site_names):
+        best_g, best_w = alive_list[0], -1
+        for g in alive_list:
+            w = stable_uint64(f"{name}|{g}", salt=f"hrw:{salt}")
+            if w > best_w:
+                best_g, best_w = g, w
+        site_group[site_id] = best_g
+    group_of = (
+        site_group[graph.site_of] if graph.n_pages else np.zeros(0, np.int64)
+    )
+    return Partition(group_of, n_groups)
+
+
+def partition_contiguous(graph: WebGraph, n_groups: int) -> Partition:
+    """Split pages into ``n_groups`` contiguous, near-equal chunks.
+
+    Not in the paper; used by tests and examples because group
+    membership is obvious by eye.
+    """
+    group_of = (
+        np.arange(graph.n_pages, dtype=np.int64) * n_groups // max(graph.n_pages, 1)
+    )
+    return Partition(group_of, n_groups)
+
+
+STRATEGIES: Dict[str, Callable[..., Partition]] = {
+    "random": partition_random,
+    "url": partition_by_url_hash,
+    "site": partition_by_site_hash,
+    "rendezvous": partition_rendezvous,
+    "contiguous": partition_contiguous,
+}
+
+
+def make_partition(
+    graph: WebGraph,
+    n_groups: int,
+    strategy: str = "site",
+    *,
+    seed: RngLike = 0,
+    salt: str = "",
+) -> Partition:
+    """Dispatch to a partitioning strategy by name.
+
+    ``strategy`` is one of ``random``, ``url``, ``site``,
+    ``rendezvous``, ``contiguous``.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(STRATEGIES)}"
+        )
+    if strategy == "random":
+        return partition_random(graph, n_groups, seed=seed)
+    if strategy == "contiguous":
+        return partition_contiguous(graph, n_groups)
+    return STRATEGIES[strategy](graph, n_groups, salt=salt)

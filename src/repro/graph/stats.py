@@ -1,0 +1,194 @@
+"""Structural statistics of web graphs and partitions.
+
+These are the quantities the paper's arguments hinge on:
+
+* the intra-site link fraction (drives the benefit of hash-by-site
+  partitioning, §4.1);
+* the internal-link fraction (drives the open-system rank leak that
+  caps Fig. 7's average rank at ~0.3);
+* partition cut statistics (cross-group links are exactly the traffic
+  the transports of §4.4 must carry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.partition import Partition
+from repro.graph.webgraph import WebGraph
+
+__all__ = [
+    "degree_statistics",
+    "intra_site_link_fraction",
+    "internal_link_fraction",
+    "partition_cut_statistics",
+    "CutStatistics",
+    "GraphSummary",
+    "summarize",
+]
+
+
+def degree_statistics(graph: WebGraph) -> Dict[str, float]:
+    """Mean/max/percentile summary of total out-degrees and in-degrees."""
+    out = graph.out_degrees().astype(np.float64)
+    inn = graph.in_degrees().astype(np.float64)
+    if graph.n_pages == 0:
+        zero = {"mean": 0.0, "max": 0.0, "p50": 0.0, "p99": 0.0}
+        return {f"out_{k}": v for k, v in zero.items()} | {
+            f"in_{k}": v for k, v in zero.items()
+        }
+    return {
+        "out_mean": float(out.mean()),
+        "out_max": float(out.max()),
+        "out_p50": float(np.percentile(out, 50)),
+        "out_p99": float(np.percentile(out, 99)),
+        "in_mean": float(inn.mean()),
+        "in_max": float(inn.max()),
+        "in_p50": float(np.percentile(inn, 50)),
+        "in_p99": float(np.percentile(inn, 99)),
+    }
+
+
+def intra_site_link_fraction(graph: WebGraph) -> float:
+    """Fraction of *internal* links whose endpoints share a site.
+
+    The paper (citing [16]) expects ~0.9 for real crawls; the
+    :func:`~repro.graph.generators.google_contest_like` generator is
+    parameterized to match.
+    """
+    if graph.n_internal_links == 0:
+        return 0.0
+    src, dst = graph.edges()
+    same = graph.site_of[src] == graph.site_of[dst]
+    return float(same.mean())
+
+
+def internal_link_fraction(graph: WebGraph) -> float:
+    """Fraction of all links whose target is inside the crawl.
+
+    Paper's dataset: 7M internal / 15M total ≈ 0.467.
+    """
+    total = graph.n_links
+    if total == 0:
+        return 0.0
+    return graph.n_internal_links / total
+
+
+@dataclass
+class CutStatistics:
+    """Cross-group traffic profile of a partition.
+
+    Attributes
+    ----------
+    n_cut_links:
+        Internal links whose endpoints live in different groups —
+        exactly the link records that must travel between rankers each
+        iteration (§4.4's ``l``-byte records).
+    cut_fraction:
+        ``n_cut_links / n_internal_links``.
+    n_group_pairs:
+        Number of ordered (src_group, dst_group) pairs with at least
+        one cut link: the out-fan of the communication pattern.
+    max_group_out_fan:
+        Largest number of distinct destination groups any single group
+        sends to (the per-node destination count under direct
+        transmission).
+    group_sizes:
+        Pages per group.
+    """
+
+    n_cut_links: int
+    cut_fraction: float
+    n_group_pairs: int
+    max_group_out_fan: int
+    group_sizes: np.ndarray = field(repr=False)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Cut metrics as a flat mapping (for table rows / JSON)."""
+        return {
+            "n_cut_links": float(self.n_cut_links),
+            "cut_fraction": self.cut_fraction,
+            "n_group_pairs": float(self.n_group_pairs),
+            "max_group_out_fan": float(self.max_group_out_fan),
+            "imbalance": float(
+                self.group_sizes.max() / max(self.group_sizes.mean(), 1e-12)
+            )
+            if self.group_sizes.size
+            else 1.0,
+        }
+
+
+def partition_cut_statistics(graph: WebGraph, partition: Partition) -> CutStatistics:
+    """Compute :class:`CutStatistics` for a partition of ``graph``."""
+    if partition.n_pages != graph.n_pages:
+        raise ValueError("partition and graph disagree on n_pages")
+    src, dst = graph.edges()
+    gs = partition.group_of[src]
+    gd = partition.group_of[dst]
+    cut = gs != gd
+    n_cut = int(cut.sum())
+    frac = n_cut / src.size if src.size else 0.0
+    if n_cut:
+        pair_keys = gs[cut] * np.int64(partition.n_groups) + gd[cut]
+        unique_pairs = np.unique(pair_keys)
+        n_pairs = int(unique_pairs.size)
+        out_fan = np.bincount(
+            (unique_pairs // partition.n_groups).astype(np.int64),
+            minlength=partition.n_groups,
+        )
+        max_fan = int(out_fan.max())
+    else:
+        n_pairs = 0
+        max_fan = 0
+    return CutStatistics(
+        n_cut_links=n_cut,
+        cut_fraction=frac,
+        n_group_pairs=n_pairs,
+        max_group_out_fan=max_fan,
+        group_sizes=partition.group_sizes(),
+    )
+
+
+@dataclass
+class GraphSummary:
+    """One-look description of a web graph, printable as a table row."""
+
+    n_pages: int
+    n_sites: int
+    n_internal_links: int
+    n_external_links: int
+    mean_out_degree: float
+    internal_link_fraction: float
+    intra_site_link_fraction: float
+    n_dangling: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary as a flat mapping (for table rows / JSON)."""
+        return {
+            "n_pages": float(self.n_pages),
+            "n_sites": float(self.n_sites),
+            "n_internal_links": float(self.n_internal_links),
+            "n_external_links": float(self.n_external_links),
+            "mean_out_degree": self.mean_out_degree,
+            "internal_link_fraction": self.internal_link_fraction,
+            "intra_site_link_fraction": self.intra_site_link_fraction,
+            "n_dangling": float(self.n_dangling),
+        }
+
+
+def summarize(graph: WebGraph) -> GraphSummary:
+    """Build a :class:`GraphSummary` for ``graph``."""
+    n = max(graph.n_pages, 1)
+    return GraphSummary(
+        n_pages=graph.n_pages,
+        n_sites=graph.n_sites,
+        n_internal_links=graph.n_internal_links,
+        n_external_links=graph.n_external_links,
+        mean_out_degree=graph.n_links / n,
+        internal_link_fraction=internal_link_fraction(graph),
+        intra_site_link_fraction=intra_site_link_fraction(graph),
+        n_dangling=int(graph.dangling_pages().size),
+    )

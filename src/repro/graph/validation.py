@@ -1,0 +1,78 @@
+"""Web-graph integrity checking.
+
+:func:`check_webgraph` verifies the internal invariants a
+:class:`~repro.graph.webgraph.WebGraph` is supposed to maintain — CSR
+monotonicity, index ranges, degree identities, site consistency.
+Construction already enforces these, so the checker's role is guarding
+*deserialized* graphs (:mod:`repro.graph.io`, external loaders) and
+acting as an executable specification of the data structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.webgraph import WebGraph
+
+__all__ = ["check_webgraph", "WebGraphInvariantError"]
+
+
+class WebGraphInvariantError(AssertionError):
+    """A WebGraph violated one of its structural invariants."""
+
+
+def check_webgraph(graph: WebGraph, *, raise_on_error: bool = True) -> List[str]:
+    """Verify every structural invariant; return violation messages.
+
+    With ``raise_on_error`` (default) the first check failure raises
+    :class:`WebGraphInvariantError` listing all violations.
+    """
+    problems: List[str] = []
+    n = graph.n_pages
+
+    # CSR shape and monotonicity.
+    if graph.indptr.shape != (n + 1,):
+        problems.append(f"indptr shape {graph.indptr.shape}, want ({n + 1},)")
+    else:
+        if graph.indptr[0] != 0:
+            problems.append("indptr[0] != 0")
+        if (np.diff(graph.indptr) < 0).any():
+            problems.append("indptr not non-decreasing")
+        if graph.indptr[-1] != graph.indices.size:
+            problems.append(
+                f"indptr[-1]={graph.indptr[-1]} != nnz={graph.indices.size}"
+            )
+
+    # Index ranges.
+    if graph.indices.size and (
+        graph.indices.min() < 0 or graph.indices.max() >= n
+    ):
+        problems.append("edge targets out of range")
+
+    # Attribute shapes.
+    if graph.site_of.shape != (n,):
+        problems.append(f"site_of shape {graph.site_of.shape}, want ({n},)")
+    if graph.external_out.shape != (n,):
+        problems.append(f"external_out shape {graph.external_out.shape}, want ({n},)")
+    if n and (graph.external_out < 0).any():
+        problems.append("negative external_out")
+    if n and (graph.site_of < 0).any():
+        problems.append("negative site ids")
+    if n and graph.site_of.size and int(graph.site_of.max()) >= len(graph.site_names):
+        problems.append("site id exceeds site_names")
+
+    # Degree identities.
+    if not problems:
+        if graph.internal_out_degrees().sum() != graph.n_internal_links:
+            problems.append("internal out-degree sum != internal link count")
+        if graph.in_degrees().sum() != graph.n_internal_links:
+            problems.append("in-degree sum != internal link count")
+        expected = graph.internal_out_degrees() + graph.external_out
+        if not np.array_equal(graph.out_degrees(), expected):
+            problems.append("out_degrees != internal + external")
+
+    if problems and raise_on_error:
+        raise WebGraphInvariantError("; ".join(problems))
+    return problems

@@ -1,0 +1,59 @@
+"""Sparse linear-algebra kernels for rank propagation.
+
+The paper's mathematics (§2, §3, appendix) is the fixed-point problem
+``R = A R + f`` for a sparse, *substochastic* operator ``A`` with
+``‖A‖∞ ≤ α < 1``.  This package provides:
+
+* construction of the global and per-group propagation operators in
+  :mod:`~repro.linalg.operators`;
+* the Jacobi fixed-point kernel with full iteration accounting in
+  :mod:`~repro.linalg.jacobi`;
+* the norms and convergence bounds of Theorems 3.1–3.3 in
+  :mod:`~repro.linalg.norms`.
+
+Everything is built on ``scipy.sparse`` CSR matrix-vector products —
+one SpMV per sweep — per the HPC guidance of keeping hot loops inside
+vectorized kernels.
+"""
+
+from repro.linalg.operators import (
+    propagation_matrix,
+    group_blocks,
+    GroupBlocks,
+)
+from repro.linalg.jacobi import JacobiResult, jacobi_solve, jacobi_sweep
+from repro.linalg.acceleration import (
+    aitken_extrapolate,
+    gauss_seidel_solve,
+    jacobi_solve_accelerated,
+)
+from repro.linalg.norms import (
+    l1_norm,
+    linf_norm,
+    relative_l1_error,
+    operator_inf_norm,
+    operator_one_norm,
+    spectral_radius_upper_bound,
+    residual_error_bound,
+    contraction_iterations_needed,
+)
+
+__all__ = [
+    "propagation_matrix",
+    "group_blocks",
+    "GroupBlocks",
+    "JacobiResult",
+    "jacobi_solve",
+    "jacobi_sweep",
+    "aitken_extrapolate",
+    "gauss_seidel_solve",
+    "jacobi_solve_accelerated",
+    "l1_norm",
+    "linf_norm",
+    "relative_l1_error",
+    "operator_inf_norm",
+    "operator_one_norm",
+    "spectral_radius_upper_bound",
+    "residual_error_bound",
+    "contraction_iterations_needed",
+]

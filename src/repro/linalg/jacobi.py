@@ -1,0 +1,132 @@
+"""Jacobi fixed-point iteration for ``x = Px + f``.
+
+This is the computational heart of both Algorithm 1 (centralized
+PageRank, where ``f = (1−α)E``) and Algorithm 2 (GroupPageRank, where
+``f = βE + X``).  Convergence for ``‖P‖∞ < 1`` follows from the
+paper's Theorems 3.1–3.2; termination uses the step difference per
+Theorem 3.3.
+
+The sweep is a single CSR SpMV plus a vector add — the recommended
+"one vectorized kernel per iteration" structure for numerical Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.norms import l1_norm
+
+__all__ = ["JacobiResult", "jacobi_sweep", "jacobi_solve"]
+
+
+@dataclass
+class JacobiResult:
+    """Outcome of a Jacobi solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Number of sweeps performed (0 if ``x0`` already met ``tol``
+        is impossible — we always perform at least one sweep).
+    converged:
+        Whether the step difference fell below ``tol`` within
+        ``max_iter`` sweeps.
+    final_delta:
+        ``‖x_m − x_{m−1}‖₁`` at exit.
+    deltas:
+        Per-sweep step differences when ``record_history`` was set.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    final_delta: float
+    deltas: List[float] = field(default_factory=list)
+
+
+def jacobi_sweep(
+    p: sp.spmatrix, x: np.ndarray, f: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """One sweep ``P @ x + f``.
+
+    ``out`` may be provided to reuse an output buffer; note that
+    ``out`` must not alias ``x``.
+    """
+    y = p.dot(x)
+    if out is None:
+        return y + f
+    np.add(y, f, out=out)
+    return out
+
+
+def jacobi_solve(
+    p: sp.spmatrix,
+    f: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    record_history: bool = False,
+) -> JacobiResult:
+    """Iterate ``x ← P x + f`` until ``‖Δx‖₁ ≤ tol``.
+
+    Parameters
+    ----------
+    p:
+        Sparse operator with ``‖P‖∞ < 1`` for guaranteed convergence
+        (not enforced; the iteration count guard catches divergence).
+    f:
+        Constant term.
+    x0:
+        Starting iterate; zeros by default (the paper's choice for the
+        monotonicity theorems).
+    tol:
+        L1 step-difference threshold (the paper's ε).
+    max_iter:
+        Hard sweep limit.
+    record_history:
+        Keep the per-sweep ``‖Δx‖₁`` series (used by convergence
+        plots/tests).
+    """
+    f = np.asarray(f, dtype=np.float64)
+    n = f.shape[0]
+    if p.shape != (n, n):
+        raise ValueError(f"operator shape {p.shape} incompatible with f of size {n}")
+    if tol < 0:
+        raise ValueError("tol must be >= 0")
+    if max_iter < 1:
+        raise ValueError("max_iter must be >= 1")
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
+    if x.shape != (n,):
+        raise ValueError(f"x0 shape {x.shape} incompatible with f of size {n}")
+
+    deltas: List[float] = []
+    delta = np.inf
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        x_new = jacobi_sweep(p, x, f)
+        delta = l1_norm(x_new - x)
+        x = x_new
+        if record_history:
+            deltas.append(delta)
+        if delta <= tol:
+            return JacobiResult(
+                x=x,
+                iterations=iterations,
+                converged=True,
+                final_delta=delta,
+                deltas=deltas,
+            )
+    return JacobiResult(
+        x=x,
+        iterations=iterations,
+        converged=False,
+        final_delta=float(delta),
+        deltas=deltas,
+    )

@@ -1,0 +1,180 @@
+"""Construction of rank-propagation operators.
+
+Orientation convention
+----------------------
+The paper writes ``R = AR + f`` with ``A[u,v] = α/d(u)`` "if there is an
+edge from u to v" and then multiplies ``A·R`` — i.e. its matrix is
+implicitly the transpose of the adjacency direction.  We store the
+operator explicitly in *propagation orientation*: ``P[v, u] = α/d(u)``
+for each link ``u → v``, so that a Jacobi sweep is the plain SpMV
+``R_new = P @ R + f`` with no transposition at call sites.
+
+``d(u)`` is the **total** out-degree (internal + external links), so
+rows of ``P`` sum to at most α and strictly less wherever a page has
+external links — the open-system rank leak of §3.
+
+Group blocks
+------------
+For a partitioned graph, :func:`group_blocks` splits ``P`` into one
+diagonal block per group (rank flowing inside a ranker) and one
+off-diagonal block per ordered group pair with at least one cut link
+(rank flowing between rankers, i.e. the payload of the transports of
+§4.4).  Diagonal blocks power ``GroupPageRank``; off-diagonal blocks
+compute the efferent vectors ``Y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.partition import Partition
+from repro.graph.webgraph import WebGraph
+from repro.utils.validation import check_fraction
+
+__all__ = ["propagation_matrix", "group_blocks", "GroupBlocks"]
+
+
+def propagation_matrix(graph: WebGraph, alpha: float = 0.85) -> sp.csr_matrix:
+    """Global propagation operator ``P`` with ``P[v,u] = α/d(u)``.
+
+    Duplicate links accumulate (two links u→v confer rank twice).
+    Dangling pages (``d(u)=0``) produce empty columns: they forward no
+    rank, matching Algorithm 2's ``B[u,v]`` guard ``d(u)>0``.
+    """
+    check_fraction(alpha, "alpha")
+    n = graph.n_pages
+    src, dst = graph.edges()
+    d = graph.out_degrees().astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inv_d = np.where(d > 0, 1.0 / np.maximum(d, 1e-300), 0.0)
+    data = alpha * inv_d[src]
+    return sp.csr_matrix((data, (dst, src)), shape=(n, n))
+
+
+@dataclass
+class GroupBlocks:
+    """Per-group decomposition of the propagation operator.
+
+    Attributes
+    ----------
+    alpha:
+        Damping factor used to scale the blocks.
+    pages:
+        ``pages[g]`` — sorted global page ids owned by group ``g``;
+        local index ``i`` within a group refers to ``pages[g][i]``.
+    diag:
+        ``diag[g]`` — CSR block mapping group ``g``'s local rank vector
+        to the in-group rank it receives (the ``A`` of Algorithm 2).
+    cross:
+        ``cross[(g, h)]`` — CSR block mapping group ``g``'s local rank
+        vector to the afferent contribution arriving at group ``h``
+        (shape ``(len(pages[h]), len(pages[g]))``).  Only pairs with at
+        least one cut link are present.
+    """
+
+    alpha: float
+    pages: List[np.ndarray]
+    diag: List[sp.csr_matrix]
+    cross: Dict[Tuple[int, int], sp.csr_matrix] = field(default_factory=dict)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.pages)
+
+    def group_size(self, g: int) -> int:
+        """Number of pages owned by group ``g``."""
+        return int(self.pages[g].size)
+
+    def destinations_of(self, g: int) -> List[int]:
+        """Groups that receive rank from group ``g`` (sorted)."""
+        return sorted(h for (src, h) in self.cross if src == g)
+
+    def sources_of(self, h: int) -> List[int]:
+        """Groups that send rank to group ``h`` (sorted)."""
+        return sorted(g for (g, dst) in self.cross if dst == h)
+
+    def apply_local(self, g: int, r: np.ndarray) -> np.ndarray:
+        """One in-group propagation: returns ``diag[g] @ r``."""
+        return self.diag[g] @ r
+
+    def efferent(self, g: int, r: np.ndarray) -> Dict[int, np.ndarray]:
+        """Efferent contributions ``Y`` of group ``g`` given its rank ``r``.
+
+        Returns a dict ``destination group -> dense vector`` over the
+        destination group's local pages.  This is the paper's
+        ``Y = B·R`` computed per destination, with the matrix entry
+        corrected to ``α/d(u)`` (see DESIGN.md, "Known typo handled").
+        """
+        out: Dict[int, np.ndarray] = {}
+        for (src, h), block in self.cross.items():
+            if src == g:
+                out[h] = block @ r
+        return out
+
+    def total_cut_entries(self) -> int:
+        """Total stored entries across all cross blocks (≈ cut links)."""
+        return sum(int(b.nnz) for b in self.cross.values())
+
+
+def group_blocks(
+    graph: WebGraph,
+    partition: Partition,
+    alpha: float = 0.85,
+) -> GroupBlocks:
+    """Split the propagation operator along a partition.
+
+    Builds all diagonal and cross blocks in one vectorized pass over
+    the edge list (no per-edge Python loop): edges are bucketed by
+    ordered group pair, then each bucket becomes one CSR block.
+    """
+    check_fraction(alpha, "alpha")
+    if partition.n_pages != graph.n_pages:
+        raise ValueError("partition and graph disagree on n_pages")
+
+    src, dst = graph.edges()
+    d = graph.out_degrees().astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inv_d = np.where(d > 0, 1.0 / np.maximum(d, 1e-300), 0.0)
+    data = alpha * inv_d[src]
+
+    group_of = partition.group_of
+    local = partition.local_index()
+    k = partition.n_groups
+    pages = [partition.pages_of_group(g) for g in range(k)]
+    sizes = [p.size for p in pages]
+
+    gs = group_of[src]
+    gd = group_of[dst]
+    pair_key = gs * np.int64(k) + gd
+    order = np.argsort(pair_key, kind="stable")
+    pk_sorted = pair_key[order]
+    boundaries = np.flatnonzero(np.diff(pk_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [pk_sorted.size]])
+
+    ls = local[src][order]
+    ld = local[dst][order]
+    dat = data[order]
+
+    diag: List[Optional[sp.csr_matrix]] = [None] * k
+    cross: Dict[Tuple[int, int], sp.csr_matrix] = {}
+    for s, e in zip(starts, ends):
+        if s == e:
+            continue
+        key = int(pk_sorted[s])
+        g, h = divmod(key, k)
+        block = sp.csr_matrix(
+            (dat[s:e], (ld[s:e], ls[s:e])), shape=(sizes[h], sizes[g])
+        )
+        if g == h:
+            diag[g] = block
+        else:
+            cross[(g, h)] = block
+    for g in range(k):
+        if diag[g] is None:
+            diag[g] = sp.csr_matrix((sizes[g], sizes[g]))
+    return GroupBlocks(alpha=alpha, pages=pages, diag=diag, cross=cross)  # type: ignore[arg-type]

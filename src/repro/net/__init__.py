@@ -1,0 +1,57 @@
+"""Asynchronous network simulation substrate.
+
+The paper evaluates its algorithms with a simulator ("We run a
+simulator to verify the discussion", §5): page rankers wake at random
+exponential intervals, exchange rank vectors, and messages may be lost.
+This package provides that simulator:
+
+* :mod:`~repro.net.simulator` — a deterministic discrete-event core
+  (time-ordered heap with stable tie-breaking, so identical seeds give
+  identical runs).
+* :mod:`~repro.net.message` — the typed payloads: score updates (the
+  paper's ``<url_from, url_to, score>`` records in vectorized form),
+  DHT lookups, and multi-payload packages for indirect transmission.
+* :mod:`~repro.net.transport` — **direct transmission** (lookup + end
+  to end send, §4.4 Fig 3) and **indirect transmission** (hop-by-hop
+  forwarding with per-neighbor pack/recombine, §4.4 Figs 4–5).
+* :mod:`~repro.net.bandwidth` — message/byte accounting used to verify
+  formulas 4.1–4.4.
+* :mod:`~repro.net.failures` — Bernoulli message loss (the paper's
+  ``p``) and node pause/resume churn.
+* :mod:`~repro.net.latency` — fixed/uniform per-hop latency models.
+"""
+
+from repro.net.simulator import Simulator, EventHandle
+from repro.net.message import ScoreUpdate, Package, LookupCost, LINK_RECORD_BYTES, LOOKUP_MESSAGE_BYTES
+from repro.net.bandwidth import TrafficAccountant, TrafficSnapshot
+from repro.net.failures import BernoulliLoss, NoLoss, NodePauseInjector
+from repro.net.latency import FixedLatency, UniformLatency, LatencyModel
+from repro.net.transport import Transport, DirectTransport, IndirectTransport, build_transport
+from repro.net.gossip import PushSumProtocol
+from repro.net.tracing import MessageRecord, MessageTrace, install_tracing
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "ScoreUpdate",
+    "Package",
+    "LookupCost",
+    "LINK_RECORD_BYTES",
+    "LOOKUP_MESSAGE_BYTES",
+    "TrafficAccountant",
+    "TrafficSnapshot",
+    "BernoulliLoss",
+    "NoLoss",
+    "NodePauseInjector",
+    "FixedLatency",
+    "UniformLatency",
+    "LatencyModel",
+    "Transport",
+    "DirectTransport",
+    "IndirectTransport",
+    "build_transport",
+    "PushSumProtocol",
+    "MessageRecord",
+    "MessageTrace",
+    "install_tracing",
+]

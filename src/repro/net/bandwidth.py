@@ -1,0 +1,107 @@
+"""Traffic accounting.
+
+Every physical message in the simulation is recorded here, split into
+the two categories of the paper's analysis (§4.4):
+
+* ``data`` — messages/bytes carrying score records (both transports);
+* ``lookup`` — DHT resolution traffic (direct transmission only).
+
+The accountant also tracks per-node ingress/egress bytes, which is what
+the per-node *bottleneck bandwidth* constraint of formula 4.7 is about,
+and supports interval snapshots so benches can report per-iteration
+traffic (formulas 4.1–4.4 are all per-iteration quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["TrafficAccountant", "TrafficSnapshot"]
+
+
+@dataclass
+class TrafficSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    time: float
+    data_messages: int
+    data_bytes: int
+    lookup_messages: int
+    lookup_bytes: int
+
+    @property
+    def total_messages(self) -> int:
+        return self.data_messages + self.lookup_messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.lookup_bytes
+
+    def delta(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":
+        """Traffic between ``earlier`` and this snapshot."""
+        return TrafficSnapshot(
+            time=self.time,
+            data_messages=self.data_messages - earlier.data_messages,
+            data_bytes=self.data_bytes - earlier.data_bytes,
+            lookup_messages=self.lookup_messages - earlier.lookup_messages,
+            lookup_bytes=self.lookup_bytes - earlier.lookup_bytes,
+        )
+
+
+class TrafficAccountant:
+    """Running counters of simulated network traffic."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.n_nodes = int(n_nodes)
+        self.data_messages = 0
+        self.data_bytes = 0
+        self.lookup_messages = 0
+        self.lookup_bytes = 0
+        self.bytes_out = np.zeros(n_nodes, dtype=np.int64)
+        self.bytes_in = np.zeros(n_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def record_data_message(self, src: int, dst: int, n_bytes: int) -> None:
+        """One physical score-carrying message from ``src`` to ``dst``."""
+        self.data_messages += 1
+        self.data_bytes += int(n_bytes)
+        self.bytes_out[src] += n_bytes
+        self.bytes_in[dst] += n_bytes
+
+    def record_lookup(self, src: int, hops: int, bytes_per_hop: int) -> None:
+        """One DHT lookup of ``hops`` hop messages originated by ``src``.
+
+        Intermediate-node ingress/egress is charged to the originator's
+        egress aggregate only (the per-node constraint in the paper is
+        about the rankers' own access links; transit traffic is covered
+        by the bisection term).
+        """
+        self.lookup_messages += int(hops)
+        total = int(hops) * int(bytes_per_hop)
+        self.lookup_bytes += total
+        self.bytes_out[src] += total
+
+    # ------------------------------------------------------------------
+    def snapshot(self, time: float) -> TrafficSnapshot:
+        """Copy the counters, stamped with the simulated time."""
+        return TrafficSnapshot(
+            time=float(time),
+            data_messages=self.data_messages,
+            data_bytes=self.data_bytes,
+            lookup_messages=self.lookup_messages,
+            lookup_bytes=self.lookup_bytes,
+        )
+
+    def node_bandwidth_peak(self) -> Dict[str, float]:
+        """Max per-node cumulative ingress/egress bytes."""
+        return {
+            "max_bytes_out": float(self.bytes_out.max()),
+            "max_bytes_in": float(self.bytes_in.max()),
+            "mean_bytes_out": float(self.bytes_out.mean()),
+            "mean_bytes_in": float(self.bytes_in.mean()),
+        }

@@ -1,0 +1,106 @@
+"""Failure injection.
+
+Two failure modes from the paper:
+
+* **Message loss** — "vector Y may fail to be sent to other groups
+  with a probability p" (§5).  The experiment labels make clear that
+  the parameter sweeps are over the *delivery* probability (the
+  best-behaved curves are labelled ``p = 1``), so
+  :class:`BernoulliLoss` is parameterized by ``delivery_prob``.
+* **Node churn** — rankers may "sleep for some time, suspend … or even
+  shutdown" (§4.2).  :class:`NodePauseInjector` schedules random pause
+  windows during which a ranker skips its work loop entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, TYPE_CHECKING
+
+from repro.utils.rng import as_generator, RngLike
+from repro.utils.validation import check_non_negative, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.simulator import Simulator
+
+__all__ = ["LossModel", "NoLoss", "BernoulliLoss", "NodePauseInjector"]
+
+
+class LossModel(Protocol):
+    """Decides whether an outgoing score update is delivered."""
+
+    def delivered(self, src_group: int, dst_group: int) -> bool:
+        """True if this send attempt survives."""
+
+
+class NoLoss:
+    """Every message is delivered (the paper's ``p = 1``)."""
+
+    def delivered(self, src_group: int, dst_group: int) -> bool:
+        """Always True."""
+        return True
+
+
+class BernoulliLoss:
+    """Independent per-send delivery with probability ``delivery_prob``.
+
+    Applied at the origin, to the whole per-destination update — the
+    granularity the paper describes (the Y vector for a destination
+    group either goes out or it does not).
+    """
+
+    def __init__(self, delivery_prob: float, *, seed: RngLike = 0):
+        self.delivery_prob = check_probability(delivery_prob, "delivery_prob")
+        self._rng = as_generator(seed)
+
+    def delivered(self, src_group: int, dst_group: int) -> bool:
+        """Bernoulli draw: True with probability ``delivery_prob``."""
+        if self.delivery_prob >= 1.0:
+            return True
+        return bool(self._rng.random() < self.delivery_prob)
+
+
+class NodePauseInjector:
+    """Randomly pauses and resumes rankers during a run.
+
+    Each injected fault picks a ranker, pauses it at a random time and
+    resumes it after an exponentially distributed outage.  Paused
+    rankers skip their wake-ups (they neither compute nor send), but
+    their inboxes keep accumulating — exactly the paper's "sleep /
+    suspend" behaviour.  DPR1/DPR2 tolerate this by design; the failure
+    tests assert the final ranks still match the centralized reference.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_faults: int,
+        horizon: float,
+        mean_outage: float,
+        seed: RngLike = 0,
+    ):
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        self.n_faults = int(n_faults)
+        self.horizon = check_non_negative(horizon, "horizon")
+        self.mean_outage = check_non_negative(mean_outage, "mean_outage")
+        self._rng = as_generator(seed)
+        self.injected: List[tuple] = []
+
+    def install(self, sim: "Simulator", rankers: List) -> None:
+        """Schedule the pause/resume events onto ``sim``.
+
+        ``rankers`` must expose a boolean ``paused`` attribute (see
+        :class:`repro.core.ranker.PageRanker`).
+        """
+        for _ in range(self.n_faults):
+            node = int(self._rng.integers(0, len(rankers)))
+            start = float(self._rng.random() * self.horizon)
+            outage = float(self._rng.exponential(self.mean_outage))
+            ranker = rankers[node]
+            sim.schedule_at(start, self._set_paused, ranker, True)
+            sim.schedule_at(start + outage, self._set_paused, ranker, False)
+            self.injected.append((node, start, outage))
+
+    @staticmethod
+    def _set_paused(ranker, value: bool) -> None:
+        ranker.paused = value

@@ -1,0 +1,51 @@
+"""Per-hop latency models.
+
+Latency units are the same arbitrary "time units" as the rankers' wait
+times (the paper's figures use unitless time axes).  The defaults keep
+one overlay hop well under one ranker wait interval so message delays
+and compute cadence interact the way the paper's simulator implies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.utils.rng import as_generator, RngLike
+from repro.utils.validation import check_non_negative
+
+__all__ = ["LatencyModel", "FixedLatency", "UniformLatency"]
+
+
+class LatencyModel(Protocol):
+    """Produces one-hop message delays."""
+
+    def hop_delay(self, src: int, dst: int) -> float:
+        """Delay for one physical hop from ``src`` to ``dst``."""
+
+
+class FixedLatency:
+    """Constant per-hop delay (the default; keeps runs deterministic)."""
+
+    def __init__(self, delay: float = 0.5):
+        self.delay = check_non_negative(delay, "delay")
+
+    def hop_delay(self, src: int, dst: int) -> float:
+        """The configured constant delay."""
+        return self.delay
+
+
+class UniformLatency:
+    """Per-hop delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, *, seed: RngLike = 0):
+        low = check_non_negative(low, "low")
+        high = check_non_negative(high, "high")
+        if high < low:
+            raise ValueError("high must be >= low")
+        self.low = low
+        self.high = high
+        self._rng = as_generator(seed)
+
+    def hop_delay(self, src: int, dst: int) -> float:
+        """A fresh uniform draw from ``[low, high]``."""
+        return float(self._rng.uniform(self.low, self.high))

@@ -1,0 +1,129 @@
+"""Message types exchanged between page rankers.
+
+Wire-size model (paper §4.5): a link-score record has the form
+``<url_from, url_to, score>``; with a mean URL of 40 bytes the paper
+rounds one record to ``l = 100`` bytes.  A DHT lookup message carries
+one key plus addressing, modelled at ``r = 50`` bytes (the paper leaves
+``r`` symbolic; any constant ≪ payload works, and the bench reports
+both terms separately).
+
+The simulator carries score updates in *vectorized* form — one dense
+vector per (source group → destination group) pair, precomputed by the
+cross blocks of :class:`~repro.linalg.operators.GroupBlocks` — but the
+accounting charges them by the number of underlying link records
+(``n_link_records × LINK_RECORD_BYTES``), exactly as the paper's byte
+model does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "LINK_RECORD_BYTES",
+    "LOOKUP_MESSAGE_BYTES",
+    "PACKAGE_HEADER_BYTES",
+    "ScoreUpdate",
+    "Package",
+    "LookupCost",
+]
+
+#: Paper §4.5: ``l`` — bytes per <url_from, url_to, score> record.
+LINK_RECORD_BYTES = 100
+
+#: ``r`` — bytes per DHT lookup message (key + routing header).
+LOOKUP_MESSAGE_BYTES = 50
+
+#: Fixed framing overhead charged once per physical package.
+PACKAGE_HEADER_BYTES = 20
+
+
+@dataclass
+class ScoreUpdate:
+    """Afferent rank contribution from one group to another.
+
+    This is the paper's ``Y`` vector restricted to one destination
+    group: entry ``i`` is the rank arriving at the destination group's
+    local page ``i`` through cut links from the source group.
+
+    Attributes
+    ----------
+    src_group, dst_group:
+        Ranker indices.
+    values:
+        Dense float64 vector over the destination group's local pages.
+    n_link_records:
+        Number of <url_from, url_to, score> records this vector stands
+        for (the nnz of the cross block) — the byte-accounting unit.
+    generation:
+        The sender's outer-loop index when the update was produced;
+        receivers keep only the newest generation per source ("refresh
+        X" in Algorithms 3 and 4).
+    sent_at:
+        Simulated send time (diagnostics only).
+    hops_taken:
+        Physical hops traversed so far (maintained by the indirect
+        transport; its TTL guard drops updates that exceed the limit).
+    """
+
+    src_group: int
+    dst_group: int
+    values: np.ndarray
+    n_link_records: int
+    generation: int
+    sent_at: float = 0.0
+    hops_taken: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes on the wire under the paper's record model."""
+        return self.n_link_records * LINK_RECORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoreUpdate({self.src_group}->{self.dst_group}, gen={self.generation}, "
+            f"records={self.n_link_records})"
+        )
+
+
+@dataclass
+class Package:
+    """A physical message between overlay neighbors (indirect mode).
+
+    Indirect transmission packs every queued :class:`ScoreUpdate`
+    sharing the same next hop into one package; receivers unpack,
+    deliver what is theirs, and recombine the rest (paper Fig 4).
+    """
+
+    from_node: int
+    to_node: int
+    updates: List[ScoreUpdate] = field(default_factory=list)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes: summed record payloads plus one frame header."""
+        return PACKAGE_HEADER_BYTES + sum(u.payload_bytes for u in self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass
+class LookupCost:
+    """Accounting record of one DHT lookup (direct mode).
+
+    Direct transmission must resolve a ranker id to an IP/port before
+    each send (paper Fig 3B); a lookup traverses ``hops`` overlay hops,
+    each carrying one ``r``-byte message.
+    """
+
+    from_node: int
+    for_node: int
+    hops: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.hops * LOOKUP_MESSAGE_BYTES

@@ -1,0 +1,132 @@
+"""Structured message tracing.
+
+A :class:`MessageTrace` records one row per physical message — time,
+endpoints, kind, payload size, and for score updates the (src_group,
+dst_group, generation) triple — into a bounded ring buffer.  It is the
+debugging/visibility companion to the aggregate counters of
+:class:`~repro.net.bandwidth.TrafficAccountant`: the accountant answers
+"how much", the trace answers "what exactly, when, through whom".
+
+Attach a trace to any transport via :func:`install_tracing`; the hook
+wraps the accountant's record methods, so both transports (and any
+future one that accounts honestly) are covered without per-transport
+code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.simulator import Simulator
+
+__all__ = ["MessageRecord", "MessageTrace", "install_tracing"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One traced physical message."""
+
+    time: float
+    kind: str  # "data" | "lookup"
+    src: int
+    dst: int  # -1 for lookups (resolution path, not a point message)
+    n_bytes: int
+
+
+class MessageTrace:
+    """Bounded in-memory log of physical messages.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records are dropped silently
+        (the ``dropped`` counter says how many).
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._records: Deque[MessageRecord] = deque(maxlen=self.capacity)
+        self.dropped = 0
+
+    def add(self, record: MessageRecord) -> None:
+        """Append a record, evicting the oldest beyond capacity."""
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        *,
+        kind: Optional[str] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        since: float = float("-inf"),
+    ) -> List[MessageRecord]:
+        """Filtered copy of the retained records."""
+        out = []
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if src is not None and r.src != src:
+                continue
+            if dst is not None and r.dst != dst:
+                continue
+            if r.time < since:
+                continue
+            out.append(r)
+        return out
+
+    def bytes_between(self, a: int, b: int) -> int:
+        """Total data bytes that crossed the directed link a -> b."""
+        return sum(r.n_bytes for r in self.records(kind="data", src=a, dst=b))
+
+    def busiest_links(self, top: int = 5) -> List[tuple]:
+        """The ``top`` directed links by data bytes carried."""
+        totals: dict = {}
+        for r in self._records:
+            if r.kind != "data":
+                continue
+            key = (r.src, r.dst)
+            totals[key] = totals.get(key, 0) + r.n_bytes
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(src, dst, n) for (src, dst), n in ranked[:top]]
+
+
+def install_tracing(
+    sim: Simulator, accountant: TrafficAccountant, trace: MessageTrace
+) -> Callable[[], None]:
+    """Mirror every accounted message into ``trace``.
+
+    Wraps the accountant's record methods in place; returns an
+    ``uninstall`` callable restoring the originals.
+    """
+    orig_data = accountant.record_data_message
+    orig_lookup = accountant.record_lookup
+
+    def record_data(src: int, dst: int, n_bytes: int) -> None:
+        orig_data(src, dst, n_bytes)
+        trace.add(MessageRecord(sim.now, "data", src, dst, int(n_bytes)))
+
+    def record_lookup(src: int, hops: int, bytes_per_hop: int) -> None:
+        orig_lookup(src, hops, bytes_per_hop)
+        trace.add(
+            MessageRecord(sim.now, "lookup", src, -1, int(hops) * int(bytes_per_hop))
+        )
+
+    accountant.record_data_message = record_data  # type: ignore[method-assign]
+    accountant.record_lookup = record_lookup  # type: ignore[method-assign]
+
+    def uninstall() -> None:
+        accountant.record_data_message = orig_data  # type: ignore[method-assign]
+        accountant.record_lookup = orig_lookup  # type: ignore[method-assign]
+
+    return uninstall

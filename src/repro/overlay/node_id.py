@@ -1,0 +1,77 @@
+"""Node identifiers and circular id-space arithmetic.
+
+All overlays share a 128-bit circular identifier space (Pastry's
+native width; Chord's analysis is width-independent).  Node ids are
+derived from the ranker index by stable hashing, so the same index
+always lands at the same point of the ring across runs and overlay
+kinds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.hashing import stable_uint128
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "node_id_of",
+    "digits_of",
+    "digit_at",
+    "shared_prefix_digits",
+    "ring_distance",
+    "clockwise_distance",
+]
+
+ID_BITS = 128
+ID_SPACE = 1 << ID_BITS
+
+
+def node_id_of(node_index: int, *, salt: str = "") -> int:
+    """Stable 128-bit overlay id of ranker ``node_index``."""
+    return stable_uint128(f"node:{node_index}", salt=f"overlay:{salt}")
+
+
+def digits_of(node_id: int, bits_per_digit: int) -> List[int]:
+    """Big-endian base-``2^bits_per_digit`` digits of a 128-bit id."""
+    if ID_BITS % bits_per_digit != 0:
+        raise ValueError(f"bits_per_digit must divide {ID_BITS}")
+    n_digits = ID_BITS // bits_per_digit
+    mask = (1 << bits_per_digit) - 1
+    return [
+        (node_id >> (bits_per_digit * (n_digits - 1 - i))) & mask
+        for i in range(n_digits)
+    ]
+
+
+def digit_at(node_id: int, position: int, bits_per_digit: int) -> int:
+    """Big-endian digit ``position`` (0 = most significant)."""
+    n_digits = ID_BITS // bits_per_digit
+    if not 0 <= position < n_digits:
+        raise ValueError(f"digit position {position} out of range [0, {n_digits})")
+    shift = bits_per_digit * (n_digits - 1 - position)
+    return (node_id >> shift) & ((1 << bits_per_digit) - 1)
+
+
+def shared_prefix_digits(a: int, b: int, bits_per_digit: int) -> int:
+    """Length of the common big-endian digit prefix of two ids."""
+    n_digits = ID_BITS // bits_per_digit
+    x = a ^ b
+    if x == 0:
+        return n_digits
+    # Index of the highest differing bit, counted from the MSB side.
+    high_bit = x.bit_length() - 1
+    msb_offset = ID_BITS - 1 - high_bit
+    return msb_offset // bits_per_digit
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Shorter-way circular distance between two ids."""
+    d = (a - b) % ID_SPACE
+    return min(d, ID_SPACE - d)
+
+
+def clockwise_distance(a: int, b: int) -> int:
+    """Distance travelling clockwise (increasing ids) from ``a`` to ``b``."""
+    return (b - a) % ID_SPACE

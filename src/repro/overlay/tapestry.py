@@ -1,0 +1,206 @@
+"""Tapestry overlay (Zhao, Kubiatowicz, Joseph) — ref [15].
+
+Tapestry is the Plaxton-mesh member of the paper's overlay list: it
+routes by resolving the destination id one digit per hop like Pastry,
+but matches **suffixes** (least-significant digit first) rather than
+prefixes, and fills holes with *surrogate routing* — when no node
+carries the required next digit, the digit value is bumped (mod 2^b)
+until a populated slot is found, deterministically.
+
+Implementation trick: suffix matching on ids is prefix matching on
+digit-*reversed* ids, so one sorted array of reversed ids supports the
+same binary-search-derived routing state as our Pastry (see
+``overlay/pastry.py``).  Expected hops are the same
+``log_{2^b} N`` — which is why the paper treats Pastry/Tapestry as
+interchangeable for its analysis; the hop benches confirm it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.overlay.base import Overlay
+from repro.overlay.node_id import ID_BITS, node_id_of
+
+__all__ = ["TapestryOverlay"]
+
+
+def _reverse_digits(value: int, bits_per_digit: int) -> int:
+    """Reverse the base-``2^b`` digits of a 128-bit id."""
+    n_digits = ID_BITS // bits_per_digit
+    mask = (1 << bits_per_digit) - 1
+    out = 0
+    for _ in range(n_digits):
+        out = (out << bits_per_digit) | (value & mask)
+        value >>= bits_per_digit
+    return out
+
+
+def _shared_suffix_digits(a: int, b: int, bits_per_digit: int) -> int:
+    """Number of matching low-order digits of two ids."""
+    n_digits = ID_BITS // bits_per_digit
+    x = a ^ b
+    if x == 0:
+        return n_digits
+    trailing = (x & -x).bit_length() - 1
+    return trailing // bits_per_digit
+
+
+def _digit_from_low(value: int, position: int, bits_per_digit: int) -> int:
+    """Digit ``position`` counted from the least-significant end."""
+    return (value >> (bits_per_digit * position)) & ((1 << bits_per_digit) - 1)
+
+
+class TapestryOverlay(Overlay):
+    """A converged Tapestry mesh over ``n_nodes`` rankers."""
+
+    def __init__(self, n_nodes: int, *, bits_per_digit: int = 4, seed: int = 0):
+        super().__init__(n_nodes)
+        if ID_BITS % bits_per_digit != 0:
+            raise ValueError(f"bits_per_digit must divide {ID_BITS}")
+        self.b = int(bits_per_digit)
+        self.n_digits = ID_BITS // self.b
+        self.seed = int(seed)
+        ids = [node_id_of(i, salt=str(seed)) for i in range(n_nodes)]
+        if len(set(ids)) != n_nodes:  # pragma: no cover - 2^-128 event
+            raise RuntimeError("node id collision; change the seed")
+        self.id_of = np.array(ids, dtype=object)
+        self.rev_of = [_reverse_digits(i, self.b) for i in ids]
+        order = sorted(range(n_nodes), key=lambda i: self.rev_of[i])
+        self.sorted_indices = np.array(order, dtype=np.int64)
+        self.sorted_revs: List[int] = [self.rev_of[i] for i in order]
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def _bisect(self, rev_key: int) -> int:
+        lo, hi = 0, self.n_nodes
+        revs = self.sorted_revs
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if revs[mid] < rev_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _first_with_suffix(self, suffix: int, n_suffix_digits: int) -> int:
+        """Node index of the smallest reversed-id whose id ends with the
+        given digit suffix; -1 if none exists."""
+        rev_prefix = _reverse_digits(suffix, self.b) >> (
+            self.b * (self.n_digits - n_suffix_digits)
+        )
+        remaining = ID_BITS - self.b * n_suffix_digits
+        lo = rev_prefix << remaining
+        hi = lo | ((1 << remaining) - 1)
+        pos = self._bisect(lo)
+        if pos < self.n_nodes and self.sorted_revs[pos] <= hi:
+            return int(self.sorted_indices[pos])
+        return -1
+
+    # ------------------------------------------------------------------
+    # Overlay interface
+    # ------------------------------------------------------------------
+    def next_hop(self, at: int, dst: int) -> int:
+        """Tapestry forwarding: resolve one more low-order digit of the
+        destination id per hop."""
+        self._check_node(at)
+        self._check_node(dst)
+        if at == dst:
+            return dst
+        own = self.id_of[at]
+        key = self.id_of[dst]
+        level = _shared_suffix_digits(own, key, self.b)
+        # Need a node matching one more low digit of the key.  Since
+        # the key IS a live node's id, the exact slot is always
+        # populated (by dst itself if nobody closer), so surrogate
+        # bumping never fires on node-to-node routes.
+        suffix_digits = level + 1
+        suffix = key & ((1 << (self.b * suffix_digits)) - 1)
+        entry = self._first_with_suffix(suffix, suffix_digits)
+        assert entry >= 0, "exact suffix slot must contain at least dst"
+        if entry == at:
+            # We are the canonical representative of this slot; jump
+            # straight to the destination's deeper suffix instead.
+            return dst if suffix_digits >= self.n_digits else self.next_hop_deeper(
+                at, dst, suffix_digits
+            )
+        return entry
+
+    def next_hop_deeper(self, at: int, dst: int, from_level: int) -> int:
+        """Resolve additional digits when ``at`` already represents the
+        current slot (rare with sparse networks)."""
+        key = self.id_of[dst]
+        for suffix_digits in range(from_level + 1, self.n_digits + 1):
+            suffix = key & ((1 << (self.b * suffix_digits)) - 1)
+            entry = self._first_with_suffix(suffix, suffix_digits)
+            if entry >= 0 and entry != at:
+                return entry
+        return dst
+
+    def surrogate_owner(self, key: int) -> int:
+        """Tapestry surrogate routing for an arbitrary (object) key.
+
+        Resolve the key digit by digit from the low end; whenever no
+        node matches the exact next digit, bump that digit upward
+        (mod 2^b) until a populated slot appears — the deterministic
+        surrogate rule, giving every key a unique live root.
+        """
+        resolved = 0  # suffix digits fixed so far (possibly surrogated)
+        for level in range(self.n_digits):
+            want = _digit_from_low(key, level, self.b)
+            for bump in range(1 << self.b):
+                digit = (want + bump) % (1 << self.b)
+                candidate_suffix = (digit << (self.b * level)) | resolved
+                entry = self._first_with_suffix(candidate_suffix, level + 1)
+                if entry >= 0:
+                    resolved = candidate_suffix
+                    break
+            else:  # pragma: no cover - impossible with n_nodes >= 1
+                raise RuntimeError("no surrogate found")
+            # If exactly one node carries this suffix, it is the root.
+            remaining = ID_BITS - self.b * (level + 1)
+            rev_prefix = _reverse_digits(resolved, self.b) >> (
+                self.b * (self.n_digits - level - 1)
+            )
+            lo = rev_prefix << remaining
+            hi = lo | ((1 << remaining) - 1)
+            pos = self._bisect(lo)
+            in_range = []
+            while pos < self.n_nodes and self.sorted_revs[pos] <= hi:
+                in_range.append(int(self.sorted_indices[pos]))
+                if len(in_range) > 1:
+                    break
+                pos += 1
+            if len(in_range) == 1:
+                return in_range[0]
+        return self._first_with_suffix(resolved, self.n_digits)
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Routing-mesh entries: one representative per (level, digit)."""
+        cached = self._neighbor_cache.get(node)
+        if cached is not None:
+            return cached
+        self._check_node(node)
+        own = self.id_of[node]
+        ns = set()
+        for level in range(self.n_digits):
+            own_suffix = own & ((1 << (self.b * level)) - 1) if level else 0
+            populated = 0
+            for digit in range(1 << self.b):
+                suffix = (digit << (self.b * level)) | own_suffix
+                entry = self._first_with_suffix(suffix, level + 1)
+                if entry >= 0:
+                    populated += 1
+                    if entry != node:
+                        ns.add(entry)
+            if populated <= 1:
+                break  # deeper levels hold only this node's own branch
+        ns.discard(node)
+        result = tuple(sorted(ns))
+        self._neighbor_cache[node] = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TapestryOverlay(n_nodes={self.n_nodes}, b={self.b})"

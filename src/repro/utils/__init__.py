@@ -1,0 +1,51 @@
+"""Low-level utilities shared by every subsystem.
+
+The utilities here deliberately avoid any dependency on the rest of
+:mod:`repro` so that every other subpackage may import them freely.
+
+Modules
+-------
+``hashing``
+    Stable (process-independent) hashing used for page partitioning and
+    overlay node identifiers.  Python's builtin :func:`hash` is salted
+    per process, so all reproducible placement decisions go through
+    SHA-1 based digests instead.
+``rng``
+    Seed-spawning helpers built on :class:`numpy.random.Generator` so a
+    single experiment seed deterministically derives independent
+    per-component streams.
+``validation``
+    Small argument-checking helpers producing consistent error messages.
+"""
+
+from repro.utils.hashing import (
+    stable_hash_bytes,
+    stable_hash_str,
+    stable_uint64,
+    stable_uint128,
+    digest_hex,
+)
+from repro.utils.rng import SeedSequenceFactory, as_generator, derive_seed
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "stable_hash_bytes",
+    "stable_hash_str",
+    "stable_uint64",
+    "stable_uint128",
+    "digest_hex",
+    "SeedSequenceFactory",
+    "as_generator",
+    "derive_seed",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

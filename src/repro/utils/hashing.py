@@ -1,0 +1,94 @@
+"""Stable hashing primitives.
+
+Partitioning decisions ("which page ranker owns page *u*?") and overlay
+node identifiers must be reproducible across processes and Python
+versions.  Python's builtin :func:`hash` is randomized per process
+(PYTHONHASHSEED), so everything here is built on SHA-1 digests, which
+are stable, uniform, and fast enough for our scales.
+
+SHA-1 is used purely as a mixing function, never for security.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "stable_hash_bytes",
+    "stable_hash_str",
+    "stable_uint64",
+    "stable_uint128",
+    "digest_hex",
+]
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+
+def stable_hash_bytes(data: bytes, *, salt: bytes = b"") -> int:
+    """Return the full 160-bit SHA-1 digest of ``salt + data`` as an int.
+
+    Parameters
+    ----------
+    data:
+        The bytes to hash.
+    salt:
+        Optional prefix mixed into the digest.  Distinct salts give
+        independent hash families, which is how the partitioning code
+        derives multiple independent hash functions from one digest
+        primitive.
+    """
+    h = hashlib.sha1()
+    if salt:
+        h.update(salt)
+    h.update(data)
+    return int.from_bytes(h.digest(), "big")
+
+
+def stable_hash_str(text: str, *, salt: str = "") -> int:
+    """Hash a unicode string; see :func:`stable_hash_bytes`."""
+    return stable_hash_bytes(text.encode("utf-8"), salt=salt.encode("utf-8"))
+
+
+def stable_uint64(obj: "str | bytes | int", *, salt: str = "") -> int:
+    """Map an object to a uniform 64-bit unsigned integer.
+
+    Integers are hashed via their decimal representation so that the
+    result does not depend on platform integer width.
+    """
+    if isinstance(obj, bytes):
+        full = stable_hash_bytes(obj, salt=salt.encode("utf-8"))
+    elif isinstance(obj, str):
+        full = stable_hash_str(obj, salt=salt)
+    elif isinstance(obj, int):
+        full = stable_hash_str(str(obj), salt=salt)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unhashable object type for stable_uint64: {type(obj)!r}")
+    return full & _MASK64
+
+
+def stable_uint128(obj: "str | bytes | int", *, salt: str = "") -> int:
+    """Map an object to a uniform 128-bit unsigned integer.
+
+    Overlay node identifiers use 128-bit keys (Pastry's native width).
+    """
+    if isinstance(obj, bytes):
+        full = stable_hash_bytes(obj, salt=salt.encode("utf-8"))
+    elif isinstance(obj, str):
+        full = stable_hash_str(obj, salt=salt)
+    elif isinstance(obj, int):
+        full = stable_hash_str(str(obj), salt=salt)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unhashable object type for stable_uint128: {type(obj)!r}")
+    return full & _MASK128
+
+
+def digest_hex(obj: "str | bytes", *, salt: str = "") -> str:
+    """Return the hex SHA-1 digest of an object (40 hex chars)."""
+    if isinstance(obj, str):
+        obj = obj.encode("utf-8")
+    h = hashlib.sha1()
+    if salt:
+        h.update(salt.encode("utf-8"))
+    h.update(obj)
+    return h.hexdigest()

@@ -1,0 +1,74 @@
+"""Argument validation helpers with uniform error messages.
+
+Every public entry point in :mod:`repro` validates its numeric
+parameters through these helpers so error messages are consistent and
+the validation logic is tested once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def _check_finite_number(value: Number, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    if math.isnan(v) or math.isinf(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return v
+
+
+def check_positive(value: Number, name: str) -> float:
+    """Require ``value > 0``; return it as float."""
+    v = _check_finite_number(value, name)
+    if v <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_non_negative(value: Number, name: str) -> float:
+    """Require ``value >= 0``; return it as float."""
+    v = _check_finite_number(value, name)
+    if v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_probability(value: Number, name: str) -> float:
+    """Require ``0 <= value <= 1``; return it as float."""
+    v = _check_finite_number(value, name)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_fraction(value: Number, name: str) -> float:
+    """Require ``0 < value < 1``; return it as float.
+
+    Used for quantities like the damping factor alpha where the theory
+    (spectral radius < 1) breaks at the boundary.
+    """
+    v = _check_finite_number(value, name)
+    if not 0.0 < v < 1.0:
+        raise ValueError(f"{name} must be strictly inside (0, 1), got {value!r}")
+    return v
+
+
+def check_in_range(value: Number, name: str, lo: Number, hi: Number) -> float:
+    """Require ``lo <= value <= hi``; return it as float."""
+    v = _check_finite_number(value, name)
+    if not float(lo) <= v <= float(hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return v

@@ -1,0 +1,72 @@
+"""Shared fixtures: small graphs with known structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    WebGraph,
+    complete_web,
+    google_contest_like,
+    ring_web,
+    star_web,
+    two_site_web,
+)
+
+
+@pytest.fixture
+def ring8() -> WebGraph:
+    """8-page directed cycle; closed-system PageRank is uniform."""
+    return ring_web(8)
+
+
+@pytest.fixture
+def star5() -> WebGraph:
+    """Hub-and-spoke with 5 leaves (6 pages)."""
+    return star_web(5)
+
+
+@pytest.fixture
+def complete6() -> WebGraph:
+    """Complete directed graph on 6 pages; PageRank is uniform."""
+    return complete_web(6)
+
+
+@pytest.fixture
+def twosite() -> WebGraph:
+    """Two dense sites joined by 2 cross links."""
+    return two_site_web(pages_per_site=8, cross_links=2, seed=0)
+
+
+@pytest.fixture
+def contest_small() -> WebGraph:
+    """A small contest-like graph shared across integration tests."""
+    return google_contest_like(800, 20, seed=42)
+
+
+@pytest.fixture
+def tiny_graph() -> WebGraph:
+    """Hand-built 5-page graph with an external link and a dangling page.
+
+    Structure::
+
+        0 -> 1, 0 -> 2
+        1 -> 2, 1 -> (external)
+        2 -> 0
+        3 -> 4
+        4: dangling (no out-links at all)
+
+    Sites: pages {0,1,2} on site 0; {3,4} on site 1.
+    """
+    return WebGraph(
+        5,
+        src=[0, 0, 1, 2, 3],
+        dst=[1, 2, 2, 0, 4],
+        site_of=[0, 0, 0, 1, 1],
+        external_out=[0, 1, 0, 0, 0],
+        site_names=("a.example.edu", "b.example.edu"),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

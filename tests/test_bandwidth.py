@@ -1,0 +1,49 @@
+"""Unit tests for repro.net.bandwidth."""
+
+import pytest
+
+from repro.net.bandwidth import TrafficAccountant
+
+
+class TestAccounting:
+    def test_data_message_counters(self):
+        acc = TrafficAccountant(4)
+        acc.record_data_message(0, 1, 300)
+        acc.record_data_message(1, 2, 200)
+        assert acc.data_messages == 2
+        assert acc.data_bytes == 500
+        assert acc.bytes_out[0] == 300
+        assert acc.bytes_in[2] == 200
+
+    def test_lookup_counters(self):
+        acc = TrafficAccountant(4)
+        acc.record_lookup(0, hops=3, bytes_per_hop=50)
+        assert acc.lookup_messages == 3
+        assert acc.lookup_bytes == 150
+        assert acc.bytes_out[0] == 150
+
+    def test_snapshot_and_delta(self):
+        acc = TrafficAccountant(2)
+        acc.record_data_message(0, 1, 100)
+        s1 = acc.snapshot(1.0)
+        acc.record_data_message(0, 1, 100)
+        acc.record_lookup(1, 2, 50)
+        s2 = acc.snapshot(2.0)
+        d = s2.delta(s1)
+        assert d.data_messages == 1
+        assert d.data_bytes == 100
+        assert d.lookup_messages == 2
+        assert s2.total_messages == 4
+        assert s2.total_bytes == 300
+
+    def test_node_bandwidth_peak(self):
+        acc = TrafficAccountant(3)
+        acc.record_data_message(0, 1, 100)
+        acc.record_data_message(0, 2, 300)
+        peaks = acc.node_bandwidth_peak()
+        assert peaks["max_bytes_out"] == 400
+        assert peaks["max_bytes_in"] == 300
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            TrafficAccountant(0)

@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig8_ks_parsing(self):
+        args = build_parser().parse_args(["fig8", "--ks", "2,10,50"])
+        assert args.ks == [2, 10, 50]
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "dpr1"
+        assert args.transport == "indirect"
+        assert args.overlay == "pastry"
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "dpr3"])
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        rc = main(["summary", "--pages", "400", "--sites", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "crawl summary" in out
+        assert "intra_site_link_fraction" in out
+
+    def test_run_small(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--pages", "400",
+                "--sites", "10",
+                "--groups", "4",
+                "--max-time", "300",
+                "--target", "1e-4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+        assert "True" in out
+
+    def test_table1(self, capsys):
+        rc = main(["table1", "--ns", "1000", "--hop-samples", "100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "7,500" in out  # the paper's published T at N=1000
+
+    def test_fig8_tiny(self, capsys):
+        rc = main(
+            ["fig8", "--pages", "400", "--sites", "10", "--ks", "2,4",
+             "--max-time", "2000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DPR1" in out
+
+    def test_fig6_tiny(self, capsys):
+        rc = main(
+            ["fig6", "--pages", "300", "--sites", "10", "--groups", "6",
+             "--max-time", "30"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig 6" in out
+        assert "series A" in out
+
+    def test_fig7_tiny_monotone_exit_code(self, capsys):
+        rc = main(
+            ["fig7", "--pages", "300", "--sites", "10", "--groups", "6",
+             "--max-time", "30"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # monotone (Thm 4.1) => success exit code
+        assert "Fig 7" in out
+
+    def test_all_subset(self, capsys, tmp_path):
+        rc = main(
+            ["all", "--pages", "300", "--sites", "10",
+             "--only", "partitioning", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Reproduction report" in out
+        assert (tmp_path / "partitioning.txt").exists()
+
+    def test_run_nonconvergence_exit_code(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--pages", "400",
+                "--sites", "10",
+                "--groups", "4",
+                "--max-time", "1",
+                "--target", "1e-30",
+            ]
+        )
+        assert rc == 1

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceTrace, is_monotone_nondecreasing
+
+
+class TestMonotoneChecker:
+    def test_increasing(self):
+        assert is_monotone_nondecreasing([0.0, 0.1, 0.2, 0.2])
+
+    def test_decreasing_detected(self):
+        assert not is_monotone_nondecreasing([0.0, 0.2, 0.1])
+
+    def test_tolerance_absorbs_noise(self):
+        assert is_monotone_nondecreasing([0.1, 0.1 - 1e-12, 0.2])
+
+    def test_short_sequences(self):
+        assert is_monotone_nondecreasing([])
+        assert is_monotone_nondecreasing([1.0])
+
+
+class TestConvergenceTrace:
+    def make_trace(self):
+        t = ConvergenceTrace()
+        t.times = [0.0, 1.0, 2.0, 3.0]
+        t.relative_errors = [1.0, 0.5, 0.05, 0.001]
+        t.mean_ranks = [0.0, 0.1, 0.2, 0.25]
+        t.max_outer_iterations = [0, 2, 4, 6]
+        t.mean_outer_iterations = [0.0, 1.5, 3.0, 4.5]
+        t.total_messages = [0, 10, 20, 30]
+        t.total_bytes = [0, 100, 200, 300]
+        return t
+
+    def test_time_to_error(self):
+        t = self.make_trace()
+        assert t.time_to_error(0.1) == 2.0
+        assert t.time_to_error(0.5) == 1.0
+        assert t.time_to_error(1e-9) is None
+
+    def test_final_error(self):
+        assert self.make_trace().final_error() == 0.001
+        assert ConvergenceTrace().final_error() == float("inf")
+
+    def test_as_arrays(self):
+        arrays = self.make_trace().as_arrays()
+        assert set(arrays) >= {
+            "time",
+            "relative_error",
+            "mean_rank",
+            "max_outer_iterations",
+            "mean_outer_iterations",
+        }
+        np.testing.assert_array_equal(arrays["time"], [0.0, 1.0, 2.0, 3.0])
+
+    def test_len(self):
+        assert len(self.make_trace()) == 4
+
+
+class TestMonitorViaRun:
+    def test_monitor_samples_at_interval(self, contest_small):
+        from repro.core import run_distributed_pagerank
+
+        res = run_distributed_pagerank(
+            contest_small, n_groups=4, t1=1, t2=1, seed=0,
+            sample_interval=2.0, max_time=20.0,
+        )
+        times = res.trace.times
+        assert times[0] == 0.0
+        assert all(b - a == pytest.approx(2.0) for a, b in zip(times, times[1:]))
+
+    def test_monitor_error_decreases_overall(self, contest_small):
+        from repro.core import run_distributed_pagerank
+
+        res = run_distributed_pagerank(
+            contest_small, n_groups=4, t1=1, t2=1, seed=0, max_time=60.0
+        )
+        errs = res.trace.relative_errors
+        assert errs[-1] < 0.01 * errs[0]
+
+    def test_monitor_rejects_bad_interval(self, contest_small):
+        from repro.core import run_distributed_pagerank
+
+        with pytest.raises(ValueError):
+            run_distributed_pagerank(
+                contest_small, n_groups=2, sample_interval=0.0, max_time=1.0
+            )

@@ -1,0 +1,113 @@
+"""Unit tests for the §4.4/4.5 cost model — including exact Table 1."""
+
+import pytest
+
+from repro.analysis.cost_model import (
+    CostModel,
+    PASTRY_HOPS_BY_N,
+    bandwidth_crossover_n,
+    direct_data_bytes,
+    direct_messages,
+    indirect_data_bytes,
+    indirect_messages,
+    message_crossover_n,
+    min_iteration_interval,
+    min_node_bottleneck_bandwidth,
+    table1_rows,
+)
+
+
+class TestFormulas:
+    def test_formula_4_1(self):
+        assert indirect_data_bytes(w=1000, h=3, l=100) == 300_000
+
+    def test_formula_4_2(self):
+        assert direct_data_bytes(w=1000, h=3, n=10, l=100, r=50) == 100_000 + 15_000
+
+    def test_formula_4_3(self):
+        assert indirect_messages(n=100, g=30) == 3000
+
+    def test_formula_4_4(self):
+        assert direct_messages(n=100, h=2.5) == 35_000
+
+
+class TestPaperWorkedExample:
+    """§4.5's arithmetic, reproduced to the digit."""
+
+    def test_t_at_1000_rankers(self):
+        t = min_iteration_interval(3e9, 2.5)
+        assert t == pytest.approx(7500.0)
+
+    def test_node_bandwidth_at_1000(self):
+        t = min_iteration_interval(3e9, 2.5)
+        b = min_node_bottleneck_bandwidth(3e9, 2.5, 1000, t)
+        assert b == pytest.approx(100_000.0)  # 100 KB/s
+
+    def test_table1_all_rows(self):
+        rows = table1_rows()
+        expected = {
+            1_000: (7500.0, 100_000.0),
+            10_000: (10_500.0, 10_000.0),
+            100_000: (12_000.0, 1_000.0),
+        }
+        assert len(rows) == 3
+        for row in rows:
+            t_exp, b_exp = expected[int(row["n_rankers"])]
+            assert row["min_iteration_interval_s"] == pytest.approx(t_exp)
+            assert row["min_node_bandwidth_Bps"] == pytest.approx(b_exp)
+
+    def test_paper_hops_constants(self):
+        assert PASTRY_HOPS_BY_N == {1_000: 2.5, 10_000: 3.5, 100_000: 4.0}
+
+    def test_iteration_interval_is_two_hours_plus(self):
+        """Paper: 'the time interval between two iterations is at
+        least 2 hours' at 1000 rankers."""
+        assert min_iteration_interval(3e9, 2.5) >= 2 * 3600
+
+
+class TestCrossovers:
+    def test_message_crossover_is_tiny(self):
+        """§4.4: direct wins on messages only for very small N."""
+        n_star = message_crossover_n(h=2.5, g=32)
+        assert n_star < 20
+
+    def test_bandwidth_crossover(self):
+        n_star = bandwidth_crossover_n(w=3e9, h=2.5)
+        # Above n_star, direct's N² lookup bytes exceed indirect's h·l·W.
+        assert (
+            direct_data_bytes(3e9, 2.5, n_star * 1.1)
+            > indirect_data_bytes(3e9, 2.5)
+        )
+        assert (
+            direct_data_bytes(3e9, 2.5, n_star * 0.9)
+            < indirect_data_bytes(3e9, 2.5)
+        )
+
+    def test_crossover_degenerate_h(self):
+        assert bandwidth_crossover_n(1e6, h=1.0) == 0.0
+
+
+class TestCostModelRows:
+    def test_row_keys(self):
+        row = CostModel().row(1000, 2.5)
+        assert {
+            "n_rankers",
+            "hops",
+            "indirect_bytes",
+            "direct_bytes",
+            "indirect_messages",
+            "direct_messages",
+            "min_iteration_interval_s",
+            "min_node_bandwidth_Bps",
+        } == set(row)
+
+    def test_custom_model_scales(self):
+        small = CostModel(web_pages=1e6)
+        big = CostModel(web_pages=2e6)
+        assert big.row(100, 3.0)["indirect_bytes"] == pytest.approx(
+            2 * small.row(100, 3.0)["indirect_bytes"]
+        )
+
+    def test_rejects_zero_bisection(self):
+        with pytest.raises(ValueError):
+            min_iteration_interval(1e6, 2.5, bisection_bytes_per_s=0)

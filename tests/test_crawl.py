@@ -1,0 +1,193 @@
+"""Tests for the crawling substrate (TrueWeb, Crawler, snapshots)."""
+
+import numpy as np
+import pytest
+
+from repro.crawl import Crawler, TrueWeb
+
+
+@pytest.fixture
+def web():
+    return TrueWeb(1000, 10, seed=3)
+
+
+class TestTrueWeb:
+    def test_construction(self, web):
+        assert web.n_pages == 1000
+        assert web.version == 0
+        assert len(web.links) == 1000
+
+    def test_no_external_links_in_the_full_web(self):
+        # W is closed by construction; externality belongs to crawls.
+        web = TrueWeb(500, 5, seed=1)
+        for targets in web.links:
+            assert all(0 <= t < 500 for t in targets)
+
+    def test_add_and_remove_link(self, web):
+        web.add_link(0, 999)
+        assert 999 in web.out_links(0)
+        assert web.page_version(0) == web.version
+        assert web.remove_link(0, 999)
+        assert 999 not in web.out_links(0)
+
+    def test_remove_missing_link_is_noop(self):
+        # Removing an absent link returns False and bumps nothing.
+        web = TrueWeb(10, 1, seed=0)
+        web.links[3] = []
+        v = web.version
+        assert not web.remove_link(3, 5)
+        assert web.version == v
+
+    def test_churn_logs_edits(self, web):
+        log = web.churn(20, seed=1)
+        assert len(log) == 20
+        assert web.version > 0
+        ops = {op for op, _, _ in log}
+        assert ops <= {"add", "remove"}
+
+    def test_out_links_returns_copy(self, web):
+        links = web.out_links(0)
+        links.append(-1)
+        assert -1 not in web.links[0]
+
+    def test_bounds_checked(self, web):
+        with pytest.raises(IndexError):
+            web.add_link(1000, 0)
+
+
+class TestCrawler:
+    def test_discovery_grows_monotonically(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        sizes = []
+        for _ in range(5):
+            stats = crawler.step(50)
+            sizes.append(stats.pages_crawled)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_crawl_until(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(300)
+        assert crawler.n_crawled >= 300 or not crawler.frontier
+
+    def test_crawl_ids_stable_across_growth(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(100)
+        first_pages = list(crawler.true_id)
+        crawler.crawl_until(300)
+        assert crawler.true_id[: len(first_pages)] == first_pages
+
+    def test_snapshot_prefix_property(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(100)
+        snap1 = crawler.snapshot()
+        crawler.crawl_until(250)
+        snap2 = crawler.snapshot()
+        assert snap2.n_pages >= snap1.n_pages
+        # Same crawl id -> same true page -> same site.
+        np.testing.assert_array_equal(
+            snap2.site_of[: snap1.n_pages], snap1.site_of
+        )
+
+    def test_snapshot_externals_are_frontier_links(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(150)
+        snap = crawler.snapshot()
+        # Every observed link is either internal or counted external.
+        total_observed = sum(
+            len(crawler._observed[cid]) for cid in range(crawler.n_crawled)
+        )
+        assert snap.n_internal_links + snap.n_external_links == total_observed
+        assert snap.n_external_links > 0  # a partial crawl must leak
+
+    def test_full_crawl_has_no_externals(self):
+        web = TrueWeb(200, 4, seed=2)
+        crawler = Crawler(web, seeds=list(range(0, 200, 20)), seed=1)
+        # Crawl everything reachable; enqueue all pages as seeds to
+        # guarantee totality.
+        for p in range(200):
+            crawler._enqueue(p)
+        crawler.crawl_until(200)
+        snap = crawler.snapshot()
+        assert snap.n_pages == 200
+        assert snap.n_external_links == 0
+
+    def test_refresh_detects_churn(self, web):
+        crawler = Crawler(web, seeds=[0], revisit_fraction=0.5, seed=1)
+        crawler.crawl_until(200)
+        # Mutate pages that are already crawled.
+        crawled = list(crawler.crawl_id.keys())[:20]
+        for p in crawled:
+            web.add_link(p, (p + 1) % web.n_pages)
+        stats = crawler.step(80)
+        assert stats.stale_detected > 0
+
+    def test_no_revisits_when_fraction_zero(self, web):
+        crawler = Crawler(web, seeds=[0], revisit_fraction=0.0, seed=1)
+        crawler.crawl_until(100)
+        stats = crawler.step(50)
+        assert stats.refreshes == 0
+
+    def test_rejects_bad_params(self, web):
+        with pytest.raises(ValueError):
+            Crawler(web, revisit_fraction=1.0)
+        crawler = Crawler(web)
+        with pytest.raises(ValueError):
+            crawler.step(0)
+
+    def test_snapshot_runs_pagerank(self, web):
+        from repro.core import pagerank_open
+
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(200)
+        res = pagerank_open(crawler.snapshot(), tol=1e-10)
+        assert res.converged
+        # Partial crawl: the open-system leak pushes mean rank below E.
+        assert res.mean_rank < 1.0
+
+
+class TestOnlineRanking:
+    def test_phases_converge_and_grow(self):
+        from repro.crawl import online_distributed_pagerank
+
+        web = TrueWeb(1500, 15, seed=4)
+        crawler = Crawler(web, seeds=[0, 700], seed=5)
+        phases = online_distributed_pagerank(
+            crawler, n_groups=6, phases=3, pages_per_phase=250, seed=6
+        )
+        assert len(phases) == 3
+        assert all(ph.converged for ph in phases)
+        sizes = [ph.n_pages for ph in phases]
+        assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+    def test_warm_start_reduces_initial_error(self):
+        from repro.crawl import online_distributed_pagerank
+
+        web = TrueWeb(1500, 15, seed=4)
+        crawler = Crawler(web, seeds=[0], seed=5)
+        phases = online_distributed_pagerank(
+            crawler, n_groups=6, phases=3, pages_per_phase=200, seed=6
+        )
+        # Phase 0 starts cold (error 1.0); later phases start warm.
+        assert phases[0].initial_error == pytest.approx(1.0)
+        assert phases[1].initial_error < 1.0
+        assert phases[2].initial_error < 1.0
+
+    def test_survives_churn(self):
+        from repro.crawl import online_distributed_pagerank
+
+        web = TrueWeb(1200, 12, seed=7)
+        crawler = Crawler(web, seeds=[0], seed=8)
+        phases = online_distributed_pagerank(
+            crawler, n_groups=5, phases=3, pages_per_phase=200,
+            churn_per_phase=60, seed=9,
+        )
+        assert all(ph.converged for ph in phases)
+
+    def test_rejects_zero_phases(self):
+        web = TrueWeb(100, 2, seed=0)
+        crawler = Crawler(web)
+        from repro.crawl import online_distributed_pagerank
+
+        with pytest.raises(ValueError):
+            online_distributed_pagerank(crawler, phases=0)

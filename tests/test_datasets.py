@@ -1,0 +1,78 @@
+"""Unit tests for repro.graph.datasets."""
+
+import pytest
+
+from repro.graph.datasets import load_snap_edge_list, paper_dataset
+from repro.graph.stats import internal_link_fraction, intra_site_link_fraction
+
+
+class TestPaperDataset:
+    def test_default_scale_statistics(self):
+        g = paper_dataset(scale=0.005, seed=1)
+        assert g.n_sites == 100
+        assert abs(internal_link_fraction(g) - 7 / 15) < 0.06
+        assert abs(intra_site_link_fraction(g) - 0.9) < 0.04
+
+    def test_scale_controls_size(self):
+        small = paper_dataset(scale=0.001, seed=1)
+        large = paper_dataset(scale=0.004, seed=1)
+        assert large.n_pages > 2 * small.n_pages
+
+    def test_rejects_bad_scale(self):
+        for bad in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError):
+                paper_dataset(scale=bad)
+
+
+class TestSnapLoader:
+    def write(self, tmp_path, text):
+        path = tmp_path / "edges.txt"
+        path.write_text(text)
+        return path
+
+    def test_basic_load(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "# Directed graph\n# comment line\n0\t1\n1\t2\n2\t0\n",
+        )
+        g = load_snap_edge_list(path)
+        assert g.n_pages == 3
+        assert g.n_internal_links == 3
+
+    def test_node_ids_compacted(self, tmp_path):
+        path = self.write(tmp_path, "100\t200\n200\t300\n")
+        g = load_snap_edge_list(path)
+        assert g.n_pages == 3
+        # First appearance order: 100 -> 0, 200 -> 1, 300 -> 2.
+        assert list(g.successors(0)) == [1]
+        assert list(g.successors(1)) == [2]
+
+    def test_site_round_robin(self, tmp_path):
+        path = self.write(tmp_path, "0\t1\n1\t2\n2\t3\n3\t0\n")
+        g = load_snap_edge_list(path, n_sites=2)
+        assert g.n_sites == 2
+        assert list(g.site_of) == [0, 1, 0, 1]
+
+    def test_custom_site_mapping(self, tmp_path):
+        path = self.write(tmp_path, "0\t1\n1\t0\n")
+        g = load_snap_edge_list(path, site_of_page=lambda p: 0)
+        assert g.n_sites == 1
+
+    def test_synthesized_external_links(self, tmp_path):
+        path = self.write(tmp_path, "0\t1\n1\t2\n2\t0\n")
+        g = load_snap_edge_list(path, external_links_per_page=3.0, seed=1)
+        assert g.n_external_links > 0
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = self.write(tmp_path, "0\t1\nbroken\n")
+        with pytest.raises(ValueError):
+            load_snap_edge_list(path)
+
+    def test_loaded_graph_runs_pagerank(self, tmp_path):
+        from repro.core import pagerank_open
+
+        path = self.write(tmp_path, "0\t1\n1\t2\n2\t0\n0\t2\n")
+        g = load_snap_edge_list(path)
+        res = pagerank_open(g, tol=1e-12)
+        assert res.converged
+        assert res.ranks[2] == res.ranks.max()

@@ -1,0 +1,103 @@
+"""End-to-end delivery-semantics invariants of the transports.
+
+Whatever the topology, latency, or batching, a transport must deliver
+every non-dropped update to its destination group exactly once, with
+values untouched.  These invariants are checked over randomized
+workloads on both transports and all four overlays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.failures import BernoulliLoss
+from repro.net.message import ScoreUpdate
+from repro.net.simulator import Simulator
+from repro.net.transport import build_transport
+from repro.overlay import build_overlay
+
+
+def run_workload(
+    transport_kind, overlay_kind, n_nodes, sends, *, delivery_prob=1.0, seed=0
+):
+    """Send a batch of updates; return (delivered log, transport)."""
+    sim = Simulator()
+    overlay = build_overlay(overlay_kind, n_nodes, seed=seed)
+    acc = TrafficAccountant(n_nodes)
+    kwargs = {}
+    transport = build_transport(
+        transport_kind,
+        sim,
+        overlay,
+        acc,
+        loss=BernoulliLoss(delivery_prob, seed=seed) if delivery_prob < 1 else None,
+        **kwargs,
+    )
+    delivered = []
+    transport.attach(lambda dst, u: delivered.append((dst, u)))
+    for src, dst, gen in sends:
+        update = ScoreUpdate(
+            src_group=src,
+            dst_group=dst,
+            values=np.full(3, float(gen)),
+            n_link_records=1,
+            generation=gen,
+        )
+        transport.send_updates(src, [update])
+    sim.run()
+    return delivered, transport
+
+
+class TestExactlyOnce:
+    @pytest.mark.parametrize("transport_kind", ["direct", "indirect"])
+    @pytest.mark.parametrize("overlay_kind", ["pastry", "chord", "can", "tapestry"])
+    def test_every_update_delivered_exactly_once(self, transport_kind, overlay_kind):
+        n = 12
+        rng = np.random.default_rng(1)
+        sends = []
+        for gen in range(5):
+            for src in range(n):
+                dst = int(rng.integers(0, n))
+                sends.append((src, dst, gen * n + src))
+        delivered, _ = run_workload(transport_kind, overlay_kind, n, sends)
+        assert len(delivered) == len(sends)
+        got = sorted((u.src_group, dst, u.generation) for dst, u in delivered)
+        want = sorted((src, dst, gen) for src, dst, gen in sends)
+        assert got == want
+
+    @pytest.mark.parametrize("transport_kind", ["direct", "indirect"])
+    def test_values_arrive_unmodified(self, transport_kind):
+        delivered, _ = run_workload(transport_kind, "pastry", 8, [(0, 5, 42)])
+        (dst, update), = delivered
+        assert dst == 5
+        np.testing.assert_array_equal(update.values, np.full(3, 42.0))
+
+    @pytest.mark.parametrize("transport_kind", ["direct", "indirect"])
+    def test_loss_accounting_balances(self, transport_kind):
+        n = 10
+        sends = [(s, (s + 3) % n, i) for i, s in enumerate(range(n))] * 20
+        delivered, transport = run_workload(
+            transport_kind, "pastry", n, sends, delivery_prob=0.6, seed=5
+        )
+        assert len(delivered) + transport.dropped_updates == len(sends)
+        assert transport.dropped_updates > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sampled_from(["direct", "indirect"]),
+    )
+    def test_exactly_once_property(self, n_nodes, pairs, transport_kind):
+        sends = [
+            (src % n_nodes, dst % n_nodes, i) for i, (src, dst) in enumerate(pairs)
+        ]
+        delivered, _ = run_workload(transport_kind, "pastry", n_nodes, sends)
+        assert len(delivered) == len(sends)
+        gens = sorted(u.generation for _, u in delivered)
+        assert gens == list(range(len(sends)))

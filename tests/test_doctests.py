@@ -1,0 +1,34 @@
+"""Execute the doctests embedded in docstrings.
+
+The package-level quickstart and the inline examples in utility
+modules are part of the documentation contract; running them keeps the
+README-style snippets from rotting.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.reporting
+import repro.analysis.viz
+import repro.net.simulator
+import repro.utils.rng
+
+DOCTEST_MODULES = [
+    repro,
+    repro.analysis.reporting,
+    repro.analysis.viz,
+    repro.net.simulator,
+    repro.utils.rng,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=[m.__name__ for m in DOCTEST_MODULES]
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    # The modules listed here are expected to actually contain examples.
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

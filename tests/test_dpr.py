@@ -1,0 +1,171 @@
+"""Unit tests for the DPR1/DPR2 node state machines.
+
+Includes a synchronous-round harness that drives DPRNodes without the
+event simulator — exchanging updates instantly each round — which
+isolates the algorithmic claims (Theorems 4.1/4.2, fixed-point
+convergence) from network timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import is_monotone_nondecreasing
+from repro.core.dpr import DPRNode
+from repro.core.open_system import GroupSystem
+from repro.core.pagerank import pagerank_open
+from repro.graph import make_partition
+from repro.net.message import ScoreUpdate
+
+
+def build_nodes(graph, k, mode, strategy="site"):
+    part = make_partition(graph, k, strategy)
+    system = GroupSystem(graph, part)
+    nodes = [
+        DPRNode(g, system.diag(g), system.beta_e[g], mode=mode) for g in range(k)
+    ]
+    return system, nodes
+
+
+def synchronous_rounds(system, nodes, rounds):
+    """Drive all nodes in lockstep: step, then exchange every Y."""
+    for _ in range(rounds):
+        ys = []
+        for node in nodes:
+            r = node.step()
+            for dst, values in system.efferent(node.group, r).items():
+                ys.append(
+                    ScoreUpdate(
+                        src_group=node.group,
+                        dst_group=dst,
+                        values=values,
+                        n_link_records=system.cross_records(node.group, dst),
+                        generation=node.outer_iterations,
+                    )
+                )
+        for u in ys:
+            nodes[u.dst_group].receive(u)
+    return system.assemble([n.r for n in nodes])
+
+
+class TestReceiveSemantics:
+    def test_keeps_newest_generation(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        g = system.blocks.sources_of(1)[0]
+        size = system.group_size(1)
+        old = ScoreUpdate(g, 1, np.full(size, 1.0), 1, generation=2)
+        new = ScoreUpdate(g, 1, np.full(size, 2.0), 1, generation=3)
+        nodes[1].receive(new)
+        nodes[1].receive(old)  # stale: must be ignored
+        assert nodes[1].stale_updates == 1
+        np.testing.assert_array_equal(nodes[1].refresh_x(), np.full(size, 2.0))
+
+    def test_equal_generation_is_stale(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        size = system.group_size(0)
+        u = ScoreUpdate(1, 0, np.ones(size), 1, generation=1)
+        nodes[0].receive(u)
+        nodes[0].receive(ScoreUpdate(1, 0, np.full(size, 9.0), 1, generation=1))
+        np.testing.assert_array_equal(nodes[0].refresh_x(), np.ones(size))
+
+    def test_x_sums_over_sources(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        size = system.group_size(2)
+        nodes[2].receive(ScoreUpdate(0, 2, np.full(size, 1.0), 1, generation=1))
+        nodes[2].receive(ScoreUpdate(1, 2, np.full(size, 2.0), 1, generation=1))
+        np.testing.assert_array_equal(nodes[2].refresh_x(), np.full(size, 3.0))
+
+    def test_wrong_destination_rejected(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        with pytest.raises(ValueError):
+            nodes[0].receive(
+                ScoreUpdate(1, 2, np.zeros(system.group_size(2)), 1, generation=1)
+            )
+
+    def test_wrong_shape_rejected(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        with pytest.raises(ValueError):
+            nodes[0].receive(ScoreUpdate(1, 0, np.zeros(1 + system.group_size(0)), 1, 1))
+
+
+class TestStepSemantics:
+    def test_dpr1_reaches_local_fixed_point(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        r = nodes[0].step()
+        # R = A_G R + βE + X holds after an inner solve.
+        resid = r - (system.diag(0) @ r + system.beta_e[0])
+        assert np.abs(resid).max() < 1e-8
+
+    def test_dpr2_is_single_sweep(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr2")
+        nodes[0].step()
+        assert nodes[0].inner_sweeps == 1
+        expected = system.beta_e[0]  # A @ 0 + βE + 0
+        np.testing.assert_allclose(nodes[0].r, expected)
+
+    def test_counters_advance(self, contest_small):
+        _, nodes = build_nodes(contest_small, 4, "dpr1")
+        nodes[0].step()
+        nodes[0].step()
+        assert nodes[0].outer_iterations == 2
+        assert nodes[0].inner_sweeps >= 2
+
+    def test_empty_group_steps_harmlessly(self, contest_small):
+        # Force empty groups via a K larger than the site count spread.
+        system, nodes = build_nodes(contest_small, 64, "dpr1")
+        sizes = [system.group_size(g) for g in range(64)]
+        empty = sizes.index(0)
+        r = nodes[empty].step()
+        assert r.size == 0
+        assert nodes[empty].outer_iterations == 1
+
+    def test_invalid_mode(self, contest_small):
+        system, _ = build_nodes(contest_small, 2, "dpr1")
+        with pytest.raises(ValueError):
+            DPRNode(0, system.diag(0), system.beta_e[0], mode="dpr3")
+
+
+class TestSynchronousConvergence:
+    @pytest.mark.parametrize("mode", ["dpr1", "dpr2"])
+    def test_converges_to_centralized(self, contest_small, mode):
+        system, nodes = build_nodes(contest_small, 6, mode)
+        reference = pagerank_open(contest_small, tol=1e-13).ranks
+        ranks = synchronous_rounds(system, nodes, 80)
+        err = np.abs(ranks - reference).sum() / np.abs(reference).sum()
+        assert err < 1e-6
+
+    def test_theorem_4_1_monotonicity(self, contest_small):
+        """DPR1 from R0=0: every page's rank sequence never decreases."""
+        system, nodes = build_nodes(contest_small, 5, "dpr1")
+        history = []
+        for _ in range(15):
+            ranks = synchronous_rounds(system, nodes, 1)
+            history.append(ranks.copy())
+        stacked = np.vstack(history)
+        diffs = np.diff(stacked, axis=0)
+        assert (diffs >= -1e-12).all()
+
+    def test_theorem_4_2_bounded_by_centralized(self, contest_small):
+        """DPR1 iterates never exceed the centralized fixed point."""
+        system, nodes = build_nodes(contest_small, 5, "dpr1")
+        reference = pagerank_open(contest_small, tol=1e-13).ranks
+        for _ in range(15):
+            ranks = synchronous_rounds(system, nodes, 1)
+            assert (ranks <= reference + 1e-9).all()
+
+    def test_dpr1_mean_rank_monotone(self, contest_small):
+        system, nodes = build_nodes(contest_small, 5, "dpr1")
+        means = []
+        for _ in range(12):
+            ranks = synchronous_rounds(system, nodes, 1)
+            means.append(ranks.mean())
+        assert is_monotone_nondecreasing(means)
+
+    def test_k1_equals_centralized_after_one_dpr1_step(self, contest_small):
+        """With one group there are no afferent links: a single
+        GroupPageRank call IS centralized PageRank."""
+        system, nodes = build_nodes(contest_small, 1, "dpr1")
+        node = DPRNode(0, system.diag(0), system.beta_e[0], mode="dpr1",
+                       local_tol=1e-13, max_inner=5000)
+        r = node.step()
+        reference = pagerank_open(contest_small, tol=1e-13).ranks
+        np.testing.assert_allclose(r, reference, atol=1e-8)

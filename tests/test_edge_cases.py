@@ -1,0 +1,127 @@
+"""Edge-case sweep across subsystems.
+
+Collected here are the boundary conditions that bit during
+development or are easy to regress: two-node overlays, single-page
+groups, empty partitions, degenerate waits, and zero-link graphs run
+through the full distributed stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import pagerank_open, run_distributed_pagerank
+from repro.graph import WebGraph, google_contest_like, ring_web
+from repro.overlay import CANOverlay, ChordOverlay, PastryOverlay, TapestryOverlay
+
+
+class TestTinyOverlays:
+    @pytest.mark.parametrize(
+        "cls", [PastryOverlay, ChordOverlay, CANOverlay, TapestryOverlay]
+    )
+    def test_two_nodes_route_both_ways(self, cls):
+        ov = cls(2, seed=1)
+        assert ov.route(0, 1).path == [0, 1]
+        assert ov.route(1, 0).path == [1, 0]
+        assert ov.neighbors(0) == (1,)
+        assert ov.neighbors(1) == (0,)
+
+    @pytest.mark.parametrize(
+        "cls", [PastryOverlay, ChordOverlay, CANOverlay, TapestryOverlay]
+    )
+    def test_three_nodes_all_pairs(self, cls):
+        ov = cls(3, seed=2)
+        for s in range(3):
+            for d in range(3):
+                assert ov.route(s, d).path[-1] == d
+
+
+class TestDegenerateGraphs:
+    def test_zero_link_graph_through_full_stack(self):
+        """Pages with no links at all: every rank is exactly βE."""
+        g = WebGraph(20, [], [], site_of=np.arange(20) % 4)
+        res = run_distributed_pagerank(
+            g, n_groups=4, t1=1.0, t2=1.0, seed=1, max_time=30.0
+        )
+        np.testing.assert_allclose(res.ranks, 0.15, atol=1e-12)
+        # No cross-group links -> absolutely no data traffic.
+        assert res.traffic.total_messages == 0
+
+    def test_single_page_graph(self):
+        g = WebGraph(1, [], [], external_out=[2])
+        res = pagerank_open(g, tol=1e-12)
+        assert res.ranks[0] == pytest.approx(0.15)
+
+    def test_all_pages_in_one_group_of_many(self):
+        """K=8 but every page lands in one group: the other 7 rankers
+        idle harmlessly and the result is exact."""
+        from repro.graph.partition import Partition
+
+        g = ring_web(12)
+        part = Partition(np.zeros(12, dtype=np.int64), 8)
+        res = run_distributed_pagerank(
+            g, partition=part, n_groups=8, t1=1.0, t2=1.0, seed=2,
+            target_relative_error=1e-8, max_time=100.0,
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.ranks, 1.0, atol=1e-6)
+
+    def test_more_groups_than_pages(self):
+        g = ring_web(5)
+        res = run_distributed_pagerank(
+            g, n_groups=16, partition_strategy="url", t1=1.0, t2=1.0,
+            seed=3, target_relative_error=1e-6, max_time=200.0,
+        )
+        assert res.converged
+
+    def test_dangling_heavy_graph(self):
+        """90% dangling pages: rank leaks hard but converges fine."""
+        n = 100
+        src = np.arange(10)
+        dst = (src + 1) % 10
+        g = WebGraph(n, src, dst)
+        res = pagerank_open(g, tol=1e-12)
+        assert res.converged
+        assert res.ranks[10:].min() == pytest.approx(0.15)
+
+
+class TestDegenerateTiming:
+    def test_t1_equals_t2_zero(self, ):
+        """T1=T2=0 means mean waits clamp to the minimum; the run must
+        still terminate (no livelock at a single instant)."""
+        g = google_contest_like(300, 10, seed=4)
+        res = run_distributed_pagerank(
+            g, n_groups=4, t1=0.0, t2=0.0, seed=4,
+            target_relative_error=1e-4, max_time=50.0,
+        )
+        assert res.converged
+
+    def test_zero_hop_delay(self):
+        g = google_contest_like(300, 10, seed=5)
+        res = run_distributed_pagerank(
+            g, n_groups=4, hop_delay=0.0, aggregation_delay=0.0,
+            t1=1.0, t2=1.0, seed=5,
+            target_relative_error=1e-4, max_time=100.0,
+        )
+        assert res.converged
+
+    def test_sample_interval_larger_than_run(self):
+        g = ring_web(8)
+        res = run_distributed_pagerank(
+            g, n_groups=2, t1=1.0, t2=1.0, seed=6,
+            sample_interval=1000.0, max_time=10.0,
+        )
+        # Only the t=0 sample exists; nothing crashes.
+        assert len(res.trace) == 1
+
+
+class TestAlphaExtremes:
+    @pytest.mark.parametrize("alpha", [0.05, 0.5, 0.99])
+    def test_distributed_matches_centralized_across_alpha(self, alpha):
+        g = google_contest_like(400, 10, seed=7)
+        ref = pagerank_open(g, alpha=alpha, tol=1e-13).ranks
+        res = run_distributed_pagerank(
+            g, n_groups=4, alpha=alpha, t1=1.0, t2=1.0, seed=7,
+            reference=ref, target_relative_error=1e-4,
+            max_time=3000.0, max_inner=5000,
+        )
+        assert res.converged, f"alpha={alpha}"

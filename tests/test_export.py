@@ -1,0 +1,65 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import run_summary, save_run_summary, trace_to_csv
+from repro.core import run_distributed_pagerank
+
+
+@pytest.fixture(scope="module")
+def run_result(contest_small_module):
+    return run_distributed_pagerank(
+        contest_small_module, n_groups=4, t1=1.0, t2=1.0, seed=1,
+        target_relative_error=1e-4, max_time=200.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def contest_small_module():
+    from repro.graph import google_contest_like
+
+    return google_contest_like(800, 20, seed=42)
+
+
+class TestTraceCsv:
+    def test_roundtrip_columns_and_rows(self, run_result, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(run_result.trace, path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "time"
+        assert len(rows) - 1 == len(run_result.trace)
+        times = [float(r[0]) for r in rows[1:]]
+        assert times == run_result.trace.times
+
+    def test_error_column_matches(self, run_result, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(run_result.trace, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        errs = [float(r["relative_error"]) for r in rows]
+        assert errs == pytest.approx(run_result.trace.relative_errors)
+
+
+class TestRunSummary:
+    def test_summary_fields(self, run_result):
+        summary = run_summary(run_result)
+        assert summary["converged"] is True
+        assert summary["n_pages"] == 800
+        assert summary["messages"] > 0
+        assert summary["config"]["algorithm"] == "dpr1"
+        assert summary["config"]["e"] == "uniform"
+
+    def test_summary_is_json_serializable(self, run_result):
+        json.dumps(run_summary(run_result))
+
+    def test_save_and_reload(self, run_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_run_summary(run_result, path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded["converged"] is True
+        assert loaded["final_relative_error"] <= 1.5e-4

@@ -1,0 +1,77 @@
+"""Unit tests for repro.net.failures."""
+
+import numpy as np
+import pytest
+
+from repro.net.failures import BernoulliLoss, NodePauseInjector, NoLoss
+from repro.net.simulator import Simulator
+
+
+class TestNoLoss:
+    def test_always_delivers(self):
+        loss = NoLoss()
+        assert all(loss.delivered(0, i) for i in range(100))
+
+
+class TestBernoulliLoss:
+    def test_p1_always_delivers(self):
+        loss = BernoulliLoss(1.0, seed=0)
+        assert all(loss.delivered(0, i) for i in range(200))
+
+    def test_p0_never_delivers(self):
+        loss = BernoulliLoss(0.0, seed=0)
+        assert not any(loss.delivered(0, i) for i in range(200))
+
+    def test_rate_near_p(self):
+        loss = BernoulliLoss(0.7, seed=1)
+        hits = sum(loss.delivered(0, 1) for _ in range(5000))
+        assert 0.65 < hits / 5000 < 0.75
+
+    def test_seed_reproducible(self):
+        a = BernoulliLoss(0.5, seed=3)
+        b = BernoulliLoss(0.5, seed=3)
+        assert [a.delivered(0, 0) for _ in range(50)] == [
+            b.delivered(0, 0) for _ in range(50)
+        ]
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+
+class _FakeRanker:
+    def __init__(self):
+        self.paused = False
+
+
+class TestNodePauseInjector:
+    def test_pause_and_resume_events(self):
+        sim = Simulator()
+        rankers = [_FakeRanker() for _ in range(4)]
+        inj = NodePauseInjector(n_faults=3, horizon=10.0, mean_outage=2.0, seed=0)
+        inj.install(sim, rankers)
+        assert len(inj.injected) == 3
+        sim.run()
+        # After all pause+resume events, every ranker is unpaused.
+        assert not any(r.paused for r in rankers)
+
+    def test_paused_during_outage(self):
+        sim = Simulator()
+        rankers = [_FakeRanker()]
+        inj = NodePauseInjector(n_faults=1, horizon=0.0, mean_outage=5.0, seed=1)
+        inj.install(sim, rankers)
+        node, start, outage = inj.injected[0]
+        sim.run(until=start + outage / 2)
+        assert rankers[node].paused
+        sim.run()
+        assert not rankers[node].paused
+
+    def test_zero_faults(self):
+        sim = Simulator()
+        inj = NodePauseInjector(n_faults=0, horizon=1.0, mean_outage=1.0)
+        inj.install(sim, [_FakeRanker()])
+        assert inj.injected == []
+
+    def test_rejects_negative_faults(self):
+        with pytest.raises(ValueError):
+            NodePauseInjector(n_faults=-1, horizon=1.0, mean_outage=1.0)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_web,
+    erdos_renyi_web,
+    google_contest_like,
+    powerlaw_cluster_web,
+    ring_web,
+    star_web,
+    two_site_web,
+)
+from repro.graph.stats import internal_link_fraction, intra_site_link_fraction
+
+
+class TestGoogleContestLike:
+    def test_counts(self):
+        g = google_contest_like(3000, 40, seed=1)
+        assert g.n_pages == 3000
+        assert g.n_sites == 40
+
+    def test_deterministic_given_seed(self):
+        a = google_contest_like(500, 10, seed=9)
+        b = google_contest_like(500, 10, seed=9)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = google_contest_like(500, 10, seed=9)
+        b = google_contest_like(500, 10, seed=10)
+        assert a != b
+
+    def test_mean_out_degree_near_target(self):
+        g = google_contest_like(6000, 50, mean_out_degree=15.0, seed=3)
+        mean = g.n_links / g.n_pages
+        assert 12.0 < mean < 18.0
+
+    def test_internal_fraction_near_paper(self):
+        g = google_contest_like(6000, 50, seed=3)
+        frac = internal_link_fraction(g)
+        assert abs(frac - 7.0 / 15.0) < 0.05
+
+    def test_intra_site_fraction_near_paper(self):
+        g = google_contest_like(6000, 50, seed=3)
+        assert abs(intra_site_link_fraction(g) - 0.9) < 0.03
+
+    def test_every_site_nonempty(self):
+        g = google_contest_like(300, 30, seed=0)
+        sizes = np.bincount(g.site_of, minlength=30)
+        assert (sizes >= 1).all()
+
+    def test_site_sizes_are_skewed(self):
+        g = google_contest_like(5000, 50, site_size_exponent=0.9, seed=0)
+        sizes = np.bincount(g.site_of)
+        assert sizes.max() > 3 * sizes.min()
+
+    def test_no_self_loops_in_multi_page_sites(self):
+        g = google_contest_like(2000, 10, seed=5)
+        src, dst = g.edges()
+        sizes = np.bincount(g.site_of)
+        multi = sizes[g.site_of[src]] > 1
+        assert not (src[multi] == dst[multi]).any()
+
+    def test_single_site_folds_inter_links(self):
+        g = google_contest_like(500, 1, seed=2)
+        assert intra_site_link_fraction(g) == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            google_contest_like(0, 1)
+        with pytest.raises(ValueError):
+            google_contest_like(10, 20)
+        with pytest.raises(ValueError):
+            google_contest_like(10, 2, internal_link_fraction=1.5)
+
+    def test_zero_external_fraction(self):
+        g = google_contest_like(500, 5, internal_link_fraction=1.0, seed=1)
+        assert g.n_external_links == 0
+
+
+class TestSimpleGenerators:
+    def test_ring_degrees(self):
+        g = ring_web(5)
+        assert (g.out_degrees() == 1).all()
+        assert (g.in_degrees() == 1).all()
+
+    def test_ring_site_assignment(self):
+        g = ring_web(6, n_sites=3)
+        assert g.n_sites == 3
+
+    def test_ring_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ring_web(0)
+
+    def test_star_structure(self):
+        g = star_web(4)
+        assert g.n_pages == 5
+        assert g.out_degrees()[0] == 4
+        assert (g.out_degrees()[1:] == 1).all()
+
+    def test_complete_uniform_degrees(self):
+        g = complete_web(5)
+        assert (g.out_degrees() == 4).all()
+        src, dst = g.edges()
+        assert not (src == dst).any()
+
+    def test_complete_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            complete_web(1)
+
+    def test_two_site_cross_links(self):
+        g = two_site_web(pages_per_site=6, cross_links=3, seed=1)
+        src, dst = g.edges()
+        cross = (g.site_of[src] != g.site_of[dst]).sum()
+        assert cross == 3
+
+    def test_erdos_renyi_mean_degree(self):
+        g = erdos_renyi_web(4000, mean_out_degree=6.0, seed=1)
+        assert 5.0 < g.n_links / g.n_pages < 7.0
+
+    def test_erdos_renyi_external_fraction(self):
+        g = erdos_renyi_web(2000, 8.0, external_fraction=0.5, seed=1)
+        frac = g.n_external_links / g.n_links
+        assert 0.4 < frac < 0.6
+
+    def test_powerlaw_has_heavy_tail(self):
+        g = powerlaw_cluster_web(2000, out_links=4, seed=1)
+        in_deg = g.in_degrees()
+        # Preferential attachment: max in-degree far exceeds the mean.
+        assert in_deg.max() > 10 * in_deg.mean()
+
+    def test_powerlaw_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_web(1)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_web(10, out_links=0)
+
+    def test_powerlaw_deterministic(self):
+        assert powerlaw_cluster_web(300, seed=3) == powerlaw_cluster_web(300, seed=3)

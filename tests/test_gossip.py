@@ -1,0 +1,137 @@
+"""Tests for push-sum gossip aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.gossip import PushSumProtocol
+from repro.net.simulator import Simulator
+from repro.overlay import PastryOverlay, ChordOverlay
+
+
+def make_protocol(values, *, overlay_cls=PastryOverlay, seed=1, **kwargs):
+    sim = Simulator()
+    overlay = overlay_cls(len(values), seed=seed)
+    return sim, PushSumProtocol(sim, overlay, values, seed=seed, **kwargs)
+
+
+class TestConvergence:
+    def test_estimates_converge_to_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(32) * 10
+        sim, proto = make_protocol(values)
+        t = proto.run_until_accurate(1e-8, max_time=500.0)
+        assert t is not None
+        np.testing.assert_allclose(proto.estimates(), values.mean(), atol=1e-7)
+
+    def test_constant_values_estimate_instantly_correct(self):
+        sim, proto = make_protocol(np.full(16, 3.5))
+        # Every node already holds the mean; error is zero before any round.
+        assert proto.max_relative_error() == 0.0
+
+    def test_works_on_chord(self):
+        values = np.arange(24, dtype=float)
+        sim, proto = make_protocol(values, overlay_cls=ChordOverlay)
+        t = proto.run_until_accurate(1e-6, max_time=500.0)
+        assert t is not None
+
+    def test_zero_mean_uses_absolute_error(self):
+        values = np.array([1.0, -1.0, 2.0, -2.0])
+        sim, proto = make_protocol(values)
+        t = proto.run_until_accurate(1e-6, max_time=500.0)
+        assert t is not None
+        np.testing.assert_allclose(proto.estimates(), 0.0, atol=1e-6)
+
+    def test_convergence_time_scales_gently(self):
+        """Push-sum converges in O(log N) rounds; doubling N twice must
+        not blow the convergence time up by more than ~2x."""
+        times = {}
+        for n in (16, 64):
+            sim, proto = make_protocol(np.arange(n, dtype=float), seed=2)
+            times[n] = proto.run_until_accurate(1e-6, max_time=2000.0)
+            assert times[n] is not None
+        assert times[64] < 3 * times[16] + 10
+
+
+class TestInvariants:
+    def test_mass_conserved_during_run(self):
+        values = np.random.default_rng(1).random(20)
+        sim, proto = make_protocol(values)
+        proto.start()
+        for _ in range(10):
+            sim.run(max_events=50)
+            inv = proto.mass_invariants()
+            assert inv["sum_s"] == pytest.approx(values.sum(), rel=1e-12)
+            assert inv["sum_w"] == pytest.approx(20.0, rel=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=2, max_size=24
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_mass_invariant_property(self, values, seed):
+        sim, proto = make_protocol(np.array(values), seed=seed % 1000 + 1)
+        proto.start()
+        sim.run(max_events=200)
+        inv = proto.mass_invariants()
+        assert inv["sum_s"] == pytest.approx(sum(values), abs=1e-9 * (1 + abs(sum(values))))
+        assert inv["sum_w"] == pytest.approx(len(values), rel=1e-12)
+
+
+class TestValidation:
+    def test_value_count_must_match_overlay(self):
+        sim = Simulator()
+        overlay = PastryOverlay(4, seed=0)
+        with pytest.raises(ValueError):
+            PushSumProtocol(sim, overlay, [1.0, 2.0])
+
+    def test_double_start_rejected(self):
+        sim, proto = make_protocol(np.ones(4))
+        proto.start()
+        with pytest.raises(RuntimeError):
+            proto.start()
+
+    def test_bad_params(self):
+        sim = Simulator()
+        overlay = PastryOverlay(4, seed=0)
+        with pytest.raises(ValueError):
+            PushSumProtocol(sim, overlay, np.ones(4), mean_wait=0)
+        with pytest.raises(ValueError):
+            PushSumProtocol(sim, overlay, np.ones(4), message_delay=-1)
+
+
+class TestIntegrationWithRanking:
+    def test_estimate_average_rank_via_gossip(self, contest_small):
+        """The deployment story: after DPR converges, rankers estimate
+        the global average rank (Fig 7's metric) by gossip instead of
+        an omniscient observer."""
+        from repro.core import run_distributed_pagerank
+
+        n_groups = 16
+        res = run_distributed_pagerank(
+            contest_small, n_groups=n_groups, t1=1.0, t2=1.0, seed=3,
+            target_relative_error=1e-6, max_time=500.0,
+        )
+        assert res.converged
+        # Each ranker contributes (its rank sum, its page count); the
+        # global mean rank = total sum / total pages.  Push-sum gives
+        # every ranker both totals.
+        from repro.graph import make_partition
+
+        part = make_partition(contest_small, n_groups, "site")
+        sums = np.zeros(n_groups)
+        counts = np.zeros(n_groups)
+        for g in range(n_groups):
+            pages = part.pages_of_group(g)
+            sums[g] = res.ranks[pages].sum()
+            counts[g] = pages.size
+        sim = Simulator()
+        overlay = PastryOverlay(n_groups, seed=0)
+        proto_sum = PushSumProtocol(sim, overlay, sums, seed=1)
+        proto_cnt = PushSumProtocol(sim, overlay, counts, seed=2)
+        assert proto_sum.run_until_accurate(1e-9, max_time=500.0) is not None
+        assert proto_cnt.run_until_accurate(1e-9, max_time=500.0) is not None
+        est_mean_rank = proto_sum.estimates()[0] / proto_cnt.estimates()[0]
+        assert est_mean_rank == pytest.approx(res.ranks.mean(), rel=1e-6)

@@ -1,0 +1,33 @@
+"""Unit tests for repro.graph.io."""
+
+import numpy as np
+import pytest
+
+from repro.graph import google_contest_like, load_webgraph, save_webgraph
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_graph(self, tmp_path, tiny_graph):
+        path = tmp_path / "tiny.npz"
+        save_webgraph(tiny_graph, path)
+        loaded = load_webgraph(path)
+        assert loaded == tiny_graph
+        assert loaded.site_names == tiny_graph.site_names
+
+    def test_roundtrip_large(self, tmp_path):
+        g = google_contest_like(2000, 25, seed=4)
+        path = tmp_path / "big.npz"
+        save_webgraph(g, path)
+        loaded = load_webgraph(path)
+        assert loaded == g
+        np.testing.assert_array_equal(loaded.external_out, g.external_out)
+
+    def test_version_check(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.npz"
+        save_webgraph(tiny_graph, path)
+        with np.load(path, allow_pickle=True) as data:
+            fields = dict(data)
+        fields["version"] = np.int64(99)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ValueError, match="version"):
+            load_webgraph(path)

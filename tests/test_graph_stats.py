@@ -1,0 +1,96 @@
+"""Unit tests for repro.graph.stats."""
+
+import pytest
+
+from repro.graph import (
+    degree_statistics,
+    google_contest_like,
+    internal_link_fraction,
+    intra_site_link_fraction,
+    make_partition,
+    partition_cut_statistics,
+    summarize,
+    two_site_web,
+)
+from repro.graph.partition import partition_by_site_hash, partition_random
+
+
+class TestLinkFractions:
+    def test_intra_site_all_internal(self, ring8):
+        # Single-site ring: every link is intra-site.
+        assert intra_site_link_fraction(ring8) == 1.0
+
+    def test_intra_site_two_sites(self, twosite):
+        frac = intra_site_link_fraction(twosite)
+        # 32 in-site links, 2 cross links.
+        assert frac == pytest.approx(32 / 34)
+
+    def test_internal_fraction(self, tiny_graph):
+        assert internal_link_fraction(tiny_graph) == pytest.approx(5 / 6)
+
+    def test_empty_graph_fractions(self):
+        from repro.graph import WebGraph
+
+        g = WebGraph(0, [], [])
+        assert intra_site_link_fraction(g) == 0.0
+        assert internal_link_fraction(g) == 0.0
+
+
+class TestDegreeStatistics:
+    def test_keys_present(self, contest_small):
+        stats = degree_statistics(contest_small)
+        for key in ("out_mean", "out_max", "in_p99", "in_mean"):
+            assert key in stats
+
+    def test_out_mean_matches_definition(self, tiny_graph):
+        stats = degree_statistics(tiny_graph)
+        assert stats["out_mean"] == pytest.approx(6 / 5)
+
+
+class TestCutStatistics:
+    def test_single_group_has_no_cut(self, contest_small):
+        part = make_partition(contest_small, 1, "site")
+        cut = partition_cut_statistics(contest_small, part)
+        assert cut.n_cut_links == 0
+        assert cut.cut_fraction == 0.0
+        assert cut.n_group_pairs == 0
+
+    def test_two_site_cut_is_exactly_cross_links(self):
+        g = two_site_web(pages_per_site=6, cross_links=4, seed=2)
+        part = partition_by_site_hash(g, 64)  # large K: sites separate
+        cut = partition_cut_statistics(g, part)
+        groups = set(part.group_of.tolist())
+        if len(groups) == 2:
+            assert cut.n_cut_links == 4
+            assert cut.n_group_pairs == 1
+
+    def test_site_hash_cuts_less_than_random(self):
+        g = google_contest_like(4000, 50, seed=7)
+        site = partition_cut_statistics(g, partition_by_site_hash(g, 16))
+        rand = partition_cut_statistics(g, partition_random(g, 16, seed=7))
+        # §4.1's whole argument: site placement cuts far fewer links.
+        assert site.n_cut_links < 0.3 * rand.n_cut_links
+
+    def test_mismatched_partition_rejected(self, tiny_graph, contest_small):
+        part = make_partition(contest_small, 4, "site")
+        with pytest.raises(ValueError):
+            partition_cut_statistics(tiny_graph, part)
+
+    def test_as_dict_keys(self, contest_small):
+        part = make_partition(contest_small, 4, "site")
+        d = partition_cut_statistics(contest_small, part).as_dict()
+        assert {"n_cut_links", "cut_fraction", "imbalance"} <= set(d)
+
+
+class TestSummarize:
+    def test_summary_matches_graph(self, tiny_graph):
+        s = summarize(tiny_graph)
+        assert s.n_pages == 5
+        assert s.n_internal_links == 5
+        assert s.n_external_links == 1
+        assert s.n_dangling == 1
+        assert s.mean_out_degree == pytest.approx(6 / 5)
+
+    def test_as_dict(self, tiny_graph):
+        d = summarize(tiny_graph).as_dict()
+        assert d["n_pages"] == 5.0

@@ -1,0 +1,66 @@
+"""Unit tests for HITS (paper ref [1] baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hits import hits
+from repro.graph import WebGraph, complete_web, ring_web, star_web
+
+
+class TestHits:
+    def test_star_hub_and_authority(self):
+        """In the star, the hub page is the top authority *and* the top
+        hub (it links to and is linked by every leaf)."""
+        g = star_web(6)
+        res = hits(g, tol=1e-12)
+        assert res.converged
+        assert res.top_authorities(1)[0] == 0
+        assert res.top_hubs(1)[0] == 0
+
+    def test_uniform_on_complete_graph(self):
+        res = hits(complete_web(5), tol=1e-12)
+        np.testing.assert_allclose(res.authorities, res.authorities[0], atol=1e-10)
+        np.testing.assert_allclose(res.hubs, res.hubs[0], atol=1e-10)
+
+    def test_uniform_on_ring(self):
+        res = hits(ring_web(6), tol=1e-12)
+        np.testing.assert_allclose(res.authorities, res.authorities[0], atol=1e-10)
+
+    def test_scores_l2_normalized(self, contest_small):
+        res = hits(contest_small, tol=1e-10)
+        assert np.linalg.norm(res.authorities) == pytest.approx(1.0)
+        assert np.linalg.norm(res.hubs) == pytest.approx(1.0)
+
+    def test_scores_nonnegative(self, contest_small):
+        res = hits(contest_small)
+        assert (res.authorities >= -1e-12).all()
+        assert (res.hubs >= -1e-12).all()
+
+    def test_authorities_are_principal_eigenvector(self):
+        """Fixed point: a ∝ AᵀA a."""
+        g = star_web(4)
+        res = hits(g, tol=1e-13)
+        adj = g.adjacency().toarray()
+        image = adj.T @ (adj @ res.authorities)
+        image /= np.linalg.norm(image)
+        np.testing.assert_allclose(image, res.authorities, atol=1e-8)
+
+    def test_empty_and_linkless_graphs(self):
+        res = hits(WebGraph(0, [], []))
+        assert res.converged and res.hubs.size == 0
+        res = hits(WebGraph(3, [], []))
+        assert res.converged
+        np.testing.assert_array_equal(res.authorities, np.zeros(3))
+
+    def test_history_recorded(self, contest_small):
+        res = hits(contest_small, record_history=True, tol=1e-8)
+        assert len(res.deltas) == res.iterations
+
+    def test_max_iter_respected(self, contest_small):
+        res = hits(contest_small, tol=1e-16, max_iter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_invalid_tol(self, contest_small):
+        with pytest.raises(ValueError):
+            hits(contest_small, tol=0)

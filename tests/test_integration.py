@@ -1,0 +1,159 @@
+"""End-to-end integration tests.
+
+The paper's headline claim — "Can the two algorithms converge to the
+same vector as centralized page ranking? The answer is 'Yes'" — is
+exercised here across the full cartesian spread of system choices:
+algorithm × transport × overlay × partition strategy, plus dynamic
+graphs, churn, and personalized E.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import compare_rankings
+from repro.core import pagerank_open, run_distributed_pagerank
+from repro.graph import google_contest_like
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return google_contest_like(700, 15, seed=77)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return pagerank_open(graph, tol=1e-13).ranks
+
+
+THRESHOLD = 1e-4
+
+
+class TestConvergesToCentralized:
+    @pytest.mark.parametrize("algorithm", ["dpr1", "dpr2"])
+    @pytest.mark.parametrize("transport", ["indirect", "direct"])
+    def test_algorithm_transport_matrix(self, graph, reference, algorithm, transport):
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=6,
+            algorithm=algorithm,
+            transport=transport,
+            t1=1.0,
+            t2=1.0,
+            seed=1,
+            reference=reference,
+            target_relative_error=THRESHOLD,
+            max_time=600.0,
+        )
+        assert res.converged, f"{algorithm}/{transport} missed threshold"
+
+    @pytest.mark.parametrize("overlay", ["pastry", "chord", "can"])
+    def test_overlay_independence(self, graph, reference, overlay):
+        """Ranks are a property of the graph, not the overlay topology."""
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=9,
+            overlay=overlay,
+            t1=1.0,
+            t2=1.0,
+            seed=2,
+            reference=reference,
+            target_relative_error=THRESHOLD,
+            max_time=600.0,
+        )
+        assert res.converged
+
+    @pytest.mark.parametrize("strategy", ["site", "url", "random", "contiguous"])
+    def test_partition_independence(self, graph, reference, strategy):
+        """The fixed point is partition-invariant (§3's algebra)."""
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=7,
+            partition_strategy=strategy,
+            t1=1.0,
+            t2=1.0,
+            seed=3,
+            reference=reference,
+            target_relative_error=THRESHOLD,
+            max_time=600.0,
+        )
+        assert res.converged
+
+    def test_ordering_agreement(self, graph, reference):
+        """Beyond L1 error: the distributed top-k is the centralized one."""
+        res = run_distributed_pagerank(
+            graph, n_groups=6, t1=1.0, t2=1.0, seed=4,
+            reference=reference, target_relative_error=1e-6, max_time=600.0,
+        )
+        cmp = compare_rankings(res.ranks, reference)
+        assert cmp.top10_overlap >= 0.9
+        assert cmp.spearman > 0.999
+
+
+class TestHostileConditions:
+    def test_heavy_loss_still_converges(self, graph, reference):
+        res = run_distributed_pagerank(
+            graph, n_groups=6, delivery_prob=0.3, t1=1.0, t2=1.0, seed=5,
+            reference=reference, target_relative_error=THRESHOLD, max_time=2000.0,
+        )
+        assert res.converged
+
+    def test_wildly_heterogeneous_speeds(self, graph, reference):
+        """T1=0, T2=30: some rankers run ~100x faster than others."""
+        res = run_distributed_pagerank(
+            graph, n_groups=6, t1=0.0, t2=30.0, seed=6,
+            reference=reference, target_relative_error=THRESHOLD, max_time=3000.0,
+        )
+        assert res.converged
+
+    def test_loss_slows_convergence(self, graph, reference):
+        """Fig 6's B vs A ordering: p=0.7 converges later than p=1."""
+        kwargs = dict(
+            n_groups=8, t1=1.0, t2=1.0, seed=7, reference=reference,
+            target_relative_error=1e-3, max_time=2000.0,
+        )
+        fast = run_distributed_pagerank(graph, delivery_prob=1.0, **kwargs)
+        slow = run_distributed_pagerank(graph, delivery_prob=0.5, **kwargs)
+        assert fast.converged and slow.converged
+        assert fast.time_to_target < slow.time_to_target
+
+
+class TestDynamicGraph:
+    def test_converges_after_link_insertion(self, graph):
+        """§4.3's conjecture: convergence holds for changing graphs.
+
+        We converge, mutate the graph (new cross-site links), rebuild
+        the system reusing the previous ranks as R0, and verify the run
+        re-converges to the *new* centralized solution.
+        """
+        res1 = run_distributed_pagerank(
+            graph, n_groups=6, t1=1.0, t2=1.0, seed=8,
+            target_relative_error=1e-5, max_time=600.0,
+        )
+        assert res1.converged
+        rng = np.random.default_rng(0)
+        add_src = rng.integers(0, graph.n_pages, size=60)
+        add_dst = rng.integers(0, graph.n_pages, size=60)
+        mutated = graph.with_edges_added(add_src, add_dst)
+        new_reference = pagerank_open(mutated, tol=1e-13).ranks
+        res2 = run_distributed_pagerank(
+            mutated, n_groups=6, t1=1.0, t2=1.0, seed=8,
+            reference=new_reference, target_relative_error=1e-5, max_time=600.0,
+        )
+        assert res2.converged
+        # The mutation genuinely moved the fixed point.
+        assert np.abs(new_reference - res1.reference).sum() > 1e-6
+
+
+class TestPersonalizedE:
+    def test_distributed_personalized_matches_centralized(self, graph):
+        """§3: non-uniform E enables personalized ranking; the
+        distributed system must track the same personalized solution."""
+        e = np.ones(graph.n_pages)
+        e[:50] = 10.0
+        reference = pagerank_open(graph, e=e, tol=1e-13).ranks
+        res = run_distributed_pagerank(
+            graph, n_groups=6, e=e, t1=1.0, t2=1.0, seed=9,
+            reference=reference, target_relative_error=THRESHOLD, max_time=600.0,
+        )
+        assert res.converged
+        assert res.ranks[:50].mean() > res.ranks[50:].mean()

@@ -1,0 +1,85 @@
+"""Unit tests for repro.linalg.jacobi."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import jacobi_solve, jacobi_sweep
+
+
+def contraction(n=10, scale=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    return sp.csr_matrix(rng.random((n, n)) * scale), rng.random(n)
+
+
+class TestJacobiSweep:
+    def test_matches_formula(self):
+        a, f = contraction()
+        x = np.ones(10)
+        np.testing.assert_allclose(jacobi_sweep(a, x, f), a @ x + f)
+
+    def test_out_buffer(self):
+        a, f = contraction()
+        x = np.ones(10)
+        out = np.empty(10)
+        result = jacobi_sweep(a, x, f, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, a @ x + f)
+
+
+class TestJacobiSolve:
+    def test_converges_to_exact_solution(self):
+        a, f = contraction()
+        res = jacobi_solve(a, f, tol=1e-14)
+        exact = np.linalg.solve(np.eye(10) - a.toarray(), f)
+        assert res.converged
+        np.testing.assert_allclose(res.x, exact, atol=1e-10)
+
+    def test_default_start_is_zero(self):
+        a, f = contraction()
+        res1 = jacobi_solve(a, f, tol=1e-14)
+        res0 = jacobi_solve(a, f, x0=np.zeros(10), tol=1e-14)
+        np.testing.assert_array_equal(res1.x, res0.x)
+
+    def test_warm_start_converges_faster(self):
+        a, f = contraction()
+        cold = jacobi_solve(a, f, tol=1e-12)
+        warm = jacobi_solve(a, f, x0=cold.x, tol=1e-12)
+        assert warm.iterations <= 2
+        np.testing.assert_allclose(warm.x, cold.x, atol=1e-10)
+
+    def test_max_iter_reported_as_not_converged(self):
+        a, f = contraction(scale=0.09)
+        res = jacobi_solve(a, f, tol=1e-16, max_iter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_history_recorded_and_decreasing(self):
+        a, f = contraction()
+        res = jacobi_solve(a, f, tol=1e-12, record_history=True)
+        assert len(res.deltas) == res.iterations
+        # Contraction: deltas shrink geometrically (allow tiny noise).
+        assert res.deltas[-1] < res.deltas[0]
+
+    def test_zero_size_system(self):
+        a = sp.csr_matrix((0, 0))
+        res = jacobi_solve(a, np.zeros(0), tol=1e-10)
+        assert res.converged
+        assert res.x.size == 0
+
+    def test_shape_validation(self):
+        a, f = contraction()
+        with pytest.raises(ValueError):
+            jacobi_solve(a, np.zeros(5))
+        with pytest.raises(ValueError):
+            jacobi_solve(a, f, x0=np.zeros(3))
+        with pytest.raises(ValueError):
+            jacobi_solve(a, f, tol=-1)
+        with pytest.raises(ValueError):
+            jacobi_solve(a, f, max_iter=0)
+
+    def test_fixed_point_property(self):
+        """The returned x satisfies x ≈ Ax + f to within the tolerance."""
+        a, f = contraction(n=30, scale=0.02, seed=3)
+        res = jacobi_solve(a, f, tol=1e-13)
+        np.testing.assert_allclose(res.x, a @ res.x + f, atol=1e-11)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.linalg.norms (Theorems 3.1-3.3 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import google_contest_like
+from repro.linalg import (
+    contraction_iterations_needed,
+    l1_norm,
+    linf_norm,
+    operator_inf_norm,
+    operator_one_norm,
+    propagation_matrix,
+    relative_l1_error,
+    residual_error_bound,
+    spectral_radius_upper_bound,
+)
+
+
+class TestVectorNorms:
+    def test_l1(self):
+        assert l1_norm(np.array([1.0, -2.0, 3.0])) == 6.0
+
+    def test_l1_empty(self):
+        assert l1_norm(np.array([])) == 0.0
+
+    def test_linf(self):
+        assert linf_norm(np.array([1.0, -5.0, 3.0])) == 5.0
+
+    def test_linf_empty(self):
+        assert linf_norm(np.array([])) == 0.0
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        x = np.array([1.0, 2.0])
+        assert relative_l1_error(x, x) == 0.0
+
+    def test_known_value(self):
+        assert relative_l1_error(np.array([1.5, 2.0]), np.array([1.0, 2.0])) == pytest.approx(
+            0.5 / 3.0
+        )
+
+    def test_zero_reference_nonzero_x(self):
+        assert relative_l1_error(np.array([1.0]), np.array([0.0])) == math.inf
+
+    def test_zero_reference_zero_x(self):
+        assert relative_l1_error(np.array([0.0]), np.array([0.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_l1_error(np.zeros(2), np.zeros(3))
+
+
+class TestOperatorNorms:
+    def test_inf_norm_row_sums(self):
+        a = sp.csr_matrix(np.array([[0.5, -0.25], [0.1, 0.0]]))
+        assert operator_inf_norm(a) == 0.75
+
+    def test_one_norm_col_sums(self):
+        a = sp.csr_matrix(np.array([[0.5, -0.25], [0.1, 0.0]]))
+        assert operator_one_norm(a) == pytest.approx(0.6)
+
+    def test_empty_matrix(self):
+        a = sp.csr_matrix((0, 0))
+        assert operator_inf_norm(a) == 0.0
+        assert operator_one_norm(a) == 0.0
+
+    def test_propagation_matrix_radius_bounded_by_alpha(self):
+        """Theorem 3.2 as the paper applies it: ρ(A) ≤ α < 1."""
+        g = google_contest_like(1500, 20, seed=5)
+        for alpha in (0.5, 0.85, 0.99):
+            p = propagation_matrix(g, alpha)
+            assert spectral_radius_upper_bound(p) <= alpha + 1e-12
+
+    def test_bound_dominates_true_radius(self):
+        g = google_contest_like(400, 10, seed=6)
+        p = propagation_matrix(g, 0.85).toarray()
+        rho = max(abs(np.linalg.eigvals(p)))
+        assert rho <= spectral_radius_upper_bound(sp.csr_matrix(p)) + 1e-9
+
+
+class TestResidualBound:
+    def test_theorem_3_3_bound_holds_empirically(self):
+        """‖x* − x_m‖ ≤ ‖A‖/(1−‖A‖)·‖x_m − x_{m−1}‖ on a real solve."""
+        rng = np.random.default_rng(0)
+        a = sp.csr_matrix(rng.random((20, 20)) * 0.03)  # ‖A‖∞ < 1
+        f = rng.random(20)
+        norm_a = operator_inf_norm(a)
+        x = np.zeros(20)
+        x_star = np.linalg.solve(np.eye(20) - a.toarray(), f)
+        for _ in range(15):
+            x_prev = x
+            x = a @ x + f
+            bound = residual_error_bound(norm_a, l1_norm(x - x_prev))
+            # The theorem is stated for a consistent pair of norms;
+            # check with the L-inf vector norm matching ‖A‖∞.
+            assert linf_norm(x_star - x) <= bound + 1e-12
+
+    def test_rejects_non_contraction(self):
+        with pytest.raises(ValueError):
+            residual_error_bound(1.0, 0.5)
+
+
+class TestContractionIterations:
+    def test_sufficient_iterations(self):
+        m = contraction_iterations_needed(0.85, 1.0, 1e-4)
+        assert 0.85**m <= 1e-4
+
+    def test_already_converged(self):
+        assert contraction_iterations_needed(0.85, 1e-6, 1e-4) == 0
+
+    def test_rejects_bad_errors(self):
+        with pytest.raises(ValueError):
+            contraction_iterations_needed(0.85, 0.0, 1e-4)

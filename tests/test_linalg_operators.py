@@ -1,0 +1,105 @@
+"""Unit tests for repro.linalg.operators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import make_partition, partition_contiguous
+from repro.linalg import group_blocks, propagation_matrix
+
+
+class TestPropagationMatrix:
+    def test_entries(self, tiny_graph):
+        p = propagation_matrix(tiny_graph, 0.85)
+        # Page 0 has d=2 (two internal links): each target gets α/2.
+        assert p[1, 0] == pytest.approx(0.425)
+        assert p[2, 0] == pytest.approx(0.425)
+        # Page 1 has d=2 (one internal + one external): target gets α/2.
+        assert p[2, 1] == pytest.approx(0.425)
+        # Page 2 has d=1.
+        assert p[0, 2] == pytest.approx(0.85)
+
+    def test_dangling_column_empty(self, tiny_graph):
+        p = propagation_matrix(tiny_graph, 0.85)
+        assert p[:, 4].nnz == 0
+
+    def test_column_sums_bounded_by_alpha(self, contest_small):
+        p = propagation_matrix(contest_small, 0.85)
+        col_sums = np.asarray(np.abs(p).sum(axis=0)).ravel()
+        assert (col_sums <= 0.85 + 1e-12).all()
+
+    def test_column_sum_less_than_alpha_with_external_links(self, tiny_graph):
+        p = propagation_matrix(tiny_graph, 0.85)
+        # Page 1 leaks half its rank externally.
+        col1 = np.asarray(np.abs(p).sum(axis=0)).ravel()[1]
+        assert col1 == pytest.approx(0.425)
+
+    def test_duplicate_links_accumulate(self):
+        from repro.graph import WebGraph
+
+        g = WebGraph(2, [0, 0], [1, 1])
+        p = propagation_matrix(g, 0.8)
+        assert p[1, 0] == pytest.approx(0.8)  # 2 * (0.8 / 2)
+
+    def test_rejects_alpha_out_of_range(self, tiny_graph):
+        for bad in (0.0, 1.0, -1, 2):
+            with pytest.raises(ValueError):
+                propagation_matrix(tiny_graph, bad)
+
+
+class TestGroupBlocks:
+    def test_blocks_reassemble_global_operator(self, contest_small):
+        """diag + cross blocks must tile the global propagation matrix."""
+        part = make_partition(contest_small, 6, "site")
+        p = propagation_matrix(contest_small, 0.85)
+        blocks = group_blocks(contest_small, part, 0.85)
+
+        rebuilt = np.zeros((contest_small.n_pages, contest_small.n_pages))
+        for g in range(6):
+            pages_g = blocks.pages[g]
+            rebuilt[np.ix_(pages_g, pages_g)] += blocks.diag[g].toarray()
+        for (g, h), block in blocks.cross.items():
+            rebuilt[np.ix_(blocks.pages[h], blocks.pages[g])] += block.toarray()
+        np.testing.assert_allclose(rebuilt, p.toarray(), atol=1e-14)
+
+    def test_apply_local_matches_diag(self, contest_small):
+        part = partition_contiguous(contest_small, 4)
+        blocks = group_blocks(contest_small, part, 0.85)
+        r = np.random.default_rng(0).random(blocks.group_size(1))
+        np.testing.assert_allclose(
+            blocks.apply_local(1, r), blocks.diag[1] @ r
+        )
+
+    def test_efferent_matches_cross_blocks(self, contest_small):
+        part = partition_contiguous(contest_small, 4)
+        blocks = group_blocks(contest_small, part, 0.85)
+        r = np.random.default_rng(1).random(blocks.group_size(0))
+        eff = blocks.efferent(0, r)
+        for h, vec in eff.items():
+            np.testing.assert_allclose(vec, blocks.cross[(0, h)] @ r)
+
+    def test_single_group_has_no_cross(self, contest_small):
+        part = make_partition(contest_small, 1, "site")
+        blocks = group_blocks(contest_small, part, 0.85)
+        assert blocks.cross == {}
+        assert blocks.total_cut_entries() == 0
+
+    def test_destinations_and_sources(self, twosite):
+        part = make_partition(twosite, 2, "contiguous")
+        blocks = group_blocks(twosite, part, 0.85)
+        # two_site_web has cross links only 0 -> 1.
+        assert blocks.destinations_of(0) == [1]
+        assert blocks.sources_of(1) == [0]
+        assert blocks.destinations_of(1) == []
+
+    def test_empty_group_blocks(self, tiny_graph):
+        from repro.graph.partition import Partition
+
+        part = Partition(np.zeros(5, dtype=np.int64), 3)
+        blocks = group_blocks(tiny_graph, part, 0.85)
+        assert blocks.group_size(1) == 0
+        assert blocks.diag[1].shape == (0, 0)
+
+    def test_mismatched_partition(self, tiny_graph, contest_small):
+        part = partition_contiguous(contest_small, 3)
+        with pytest.raises(ValueError):
+            group_blocks(tiny_graph, part, 0.85)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.net.message."""
+
+import numpy as np
+
+from repro.net.message import (
+    LINK_RECORD_BYTES,
+    LOOKUP_MESSAGE_BYTES,
+    PACKAGE_HEADER_BYTES,
+    LookupCost,
+    Package,
+    ScoreUpdate,
+)
+
+
+def make_update(src=0, dst=1, records=7, gen=3):
+    return ScoreUpdate(
+        src_group=src,
+        dst_group=dst,
+        values=np.zeros(4),
+        n_link_records=records,
+        generation=gen,
+    )
+
+
+class TestScoreUpdate:
+    def test_payload_bytes_follow_record_model(self):
+        u = make_update(records=7)
+        assert u.payload_bytes == 7 * LINK_RECORD_BYTES
+
+    def test_paper_record_size(self):
+        # §4.5 pins one <url_from, url_to, score> record at ~100 bytes.
+        assert LINK_RECORD_BYTES == 100
+
+
+class TestPackage:
+    def test_payload_sums_updates_plus_header(self):
+        pkg = Package(0, 1, [make_update(records=2), make_update(records=3)])
+        assert pkg.payload_bytes == PACKAGE_HEADER_BYTES + 500
+        assert len(pkg) == 2
+
+    def test_empty_package(self):
+        pkg = Package(0, 1, [])
+        assert pkg.payload_bytes == PACKAGE_HEADER_BYTES
+
+
+class TestLookupCost:
+    def test_total_bytes(self):
+        lc = LookupCost(from_node=0, for_node=9, hops=3)
+        assert lc.total_bytes == 3 * LOOKUP_MESSAGE_BYTES

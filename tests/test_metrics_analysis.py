@@ -1,0 +1,77 @@
+"""Unit tests for repro.analysis.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    compare_rankings,
+    rank_order_correlation,
+    topk_overlap,
+)
+
+
+class TestTopkOverlap:
+    def test_identical(self):
+        x = np.array([3.0, 1.0, 2.0, 5.0])
+        assert topk_overlap(x, x, 2) == 1.0
+
+    def test_disjoint(self):
+        a = np.array([10.0, 9.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 10.0, 9.0])
+        assert topk_overlap(a, b, 2) == 0.0
+
+    def test_partial(self):
+        a = np.array([10.0, 9.0, 1.0, 0.0])
+        b = np.array([10.0, 0.0, 9.0, 1.0])
+        assert topk_overlap(a, b, 2) == 0.5
+
+    def test_k_validation(self):
+        x = np.ones(3)
+        with pytest.raises(ValueError):
+            topk_overlap(x, x, 0)
+        with pytest.raises(ValueError):
+            topk_overlap(x, x, 4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            topk_overlap(np.ones(3), np.ones(4), 2)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rank_order_correlation(a, 2 * a) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rank_order_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_vectors(self):
+        assert rank_order_correlation(np.ones(5), np.ones(5)) == 1.0
+
+    def test_tiny_vectors(self):
+        assert rank_order_correlation(np.array([1.0]), np.array([2.0])) == 1.0
+
+
+class TestCompareRankings:
+    def test_identical_is_perfect(self):
+        x = np.linspace(1, 2, 50)
+        cmp = compare_rankings(x, x)
+        assert cmp.relative_l1_error == 0.0
+        assert cmp.spearman == pytest.approx(1.0)
+        assert cmp.top10_overlap == 1.0
+
+    def test_k_capped_for_small_vectors(self):
+        x = np.array([1.0, 2.0, 3.0])
+        cmp = compare_rankings(x, x)
+        assert cmp.top100_overlap == 1.0
+
+    def test_as_dict(self):
+        x = np.linspace(1, 2, 20)
+        d = compare_rankings(x, x).as_dict()
+        assert set(d) == {
+            "relative_l1_error",
+            "spearman",
+            "top10_overlap",
+            "top100_overlap",
+        }

@@ -1,0 +1,68 @@
+"""Unit tests for the Chord overlay."""
+
+import math
+
+import pytest
+
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.node_id import clockwise_distance
+
+
+@pytest.fixture(scope="module")
+def chord128():
+    return ChordOverlay(128, seed=1)
+
+
+class TestStructure:
+    def test_successor_of_own_id_is_self(self, chord128):
+        for node in range(0, 128, 13):
+            assert chord128.successor(chord128.id_of[node]) == node
+
+    def test_successor_predecessor_inverse(self, chord128):
+        for node in range(0, 128, 11):
+            succ = chord128.successor_node(node)
+            assert chord128.predecessor_node(succ) == node
+
+    def test_finger_count_logarithmic(self, chord128):
+        fingers = chord128.fingers(0)
+        assert len(fingers) <= 2 * math.ceil(math.log2(128)) + 2
+        assert len(fingers) >= math.floor(math.log2(128)) - 2
+
+    def test_fingers_exclude_self(self, chord128):
+        for node in (0, 64, 127):
+            assert node not in chord128.fingers(node)
+
+    def test_neighbors_include_successor_and_predecessor(self, chord128):
+        ns = chord128.neighbors(5)
+        assert chord128.successor_node(5) in ns
+        assert chord128.predecessor_node(5) in ns
+
+    def test_single_node(self):
+        ov = ChordOverlay(1, seed=0)
+        assert ov.route(0, 0).hops == 0
+
+
+class TestRouting:
+    def test_all_pairs_reachable_small(self):
+        ov = ChordOverlay(17, seed=2)
+        for src in range(17):
+            for dst in range(17):
+                path = ov.route(src, dst).path
+                assert path[-1] == dst
+
+    def test_routes_move_strictly_clockwise(self, chord128):
+        """Chord invariant: every hop reduces clockwise distance to key."""
+        for src, dst in [(0, 100), (77, 3), (127, 64)]:
+            key = chord128.id_of[dst]
+            path = chord128.route(src, dst).path
+            dists = [clockwise_distance(chord128.id_of[n], key) for n in path]
+            assert all(dists[i + 1] < dists[i] for i in range(len(dists) - 1))
+
+    def test_hop_count_logarithmic(self, chord128):
+        mean = chord128.sample_mean_hops(300, seed=0)
+        assert mean <= math.log2(128) + 2  # ~0.5 log2 N expected
+
+    def test_no_cycles(self, chord128):
+        for src, dst in [(0, 127), (50, 5)]:
+            path = chord128.route(src, dst).path
+            assert len(path) == len(set(path))

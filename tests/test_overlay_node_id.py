@@ -1,0 +1,87 @@
+"""Unit tests for repro.overlay.node_id."""
+
+import pytest
+
+from repro.overlay.node_id import (
+    ID_BITS,
+    ID_SPACE,
+    clockwise_distance,
+    digit_at,
+    digits_of,
+    node_id_of,
+    ring_distance,
+    shared_prefix_digits,
+)
+
+
+class TestNodeIds:
+    def test_stable(self):
+        assert node_id_of(7) == node_id_of(7)
+
+    def test_distinct(self):
+        ids = {node_id_of(i) for i in range(1000)}
+        assert len(ids) == 1000
+
+    def test_salt_relocates(self):
+        assert node_id_of(7, salt="a") != node_id_of(7, salt="b")
+
+    def test_range(self):
+        assert 0 <= node_id_of(123) < ID_SPACE
+
+
+class TestDigits:
+    def test_digit_count(self):
+        assert len(digits_of(0, 4)) == ID_BITS // 4
+
+    def test_digits_reconstruct_id(self):
+        val = node_id_of(5)
+        digits = digits_of(val, 4)
+        rebuilt = 0
+        for d in digits:
+            rebuilt = (rebuilt << 4) | d
+        assert rebuilt == val
+
+    def test_digit_at_matches_digits_of(self):
+        val = node_id_of(9)
+        digits = digits_of(val, 4)
+        for pos in (0, 5, 31):
+            assert digit_at(val, pos, 4) == digits[pos]
+
+    def test_digit_at_bounds(self):
+        with pytest.raises(ValueError):
+            digit_at(0, 32, 4)
+
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            digits_of(0, 5)
+
+
+class TestPrefix:
+    def test_identical_ids_share_all_digits(self):
+        assert shared_prefix_digits(7, 7, 4) == ID_BITS // 4
+
+    def test_differ_in_first_digit(self):
+        a = 0
+        b = 1 << (ID_BITS - 1)
+        assert shared_prefix_digits(a, b, 4) == 0
+
+    def test_known_prefix_length(self):
+        a = 0xAB << (ID_BITS - 8)
+        b = 0xAC << (ID_BITS - 8)
+        # First hex digit matches (A), second differs (B vs C).
+        assert shared_prefix_digits(a, b, 4) == 1
+
+
+class TestRingDistances:
+    def test_ring_distance_symmetric(self):
+        assert ring_distance(10, 20) == ring_distance(20, 10) == 10
+
+    def test_ring_distance_wraps(self):
+        assert ring_distance(1, ID_SPACE - 1) == 2
+
+    def test_clockwise_distance(self):
+        assert clockwise_distance(10, 20) == 10
+        assert clockwise_distance(20, 10) == ID_SPACE - 10
+
+    def test_clockwise_zero(self):
+        assert clockwise_distance(5, 5) == 0

@@ -1,0 +1,156 @@
+"""Unit tests for the Pastry overlay."""
+
+import math
+
+import pytest
+
+from repro.overlay.node_id import ring_distance, shared_prefix_digits
+from repro.overlay.pastry import PastryOverlay
+
+
+@pytest.fixture(scope="module")
+def pastry64():
+    return PastryOverlay(64, seed=1)
+
+
+@pytest.fixture(scope="module")
+def pastry512():
+    return PastryOverlay(512, seed=2)
+
+
+class TestConstruction:
+    def test_single_node(self):
+        ov = PastryOverlay(1, seed=0)
+        assert ov.route(0, 0).hops == 0
+        assert ov.neighbors(0) == ()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PastryOverlay(0)
+        with pytest.raises(ValueError):
+            PastryOverlay(4, leaf_set_size=3)
+        with pytest.raises(ValueError):
+            PastryOverlay(4, bits_per_digit=5)
+
+
+class TestRouting:
+    def test_every_route_terminates_at_destination(self, pastry64):
+        for src in range(0, 64, 7):
+            for dst in range(0, 64, 5):
+                path = pastry64.route(src, dst).path
+                assert path[0] == src
+                assert path[-1] == dst
+
+    def test_routes_have_no_cycles(self, pastry64):
+        for src, dst in [(0, 63), (5, 50), (33, 2)]:
+            path = pastry64.route(src, dst).path
+            assert len(path) == len(set(path))
+
+    def test_prefix_match_never_decreases(self, pastry512):
+        """Pastry invariant: each hop matches >= as many key digits."""
+        for src, dst in [(0, 400), (100, 9), (511, 255)]:
+            key = pastry512.id_of[dst]
+            path = pastry512.route(src, dst).path
+            prefixes = [
+                shared_prefix_digits(pastry512.id_of[n], key, pastry512.b)
+                for n in path
+            ]
+            # Monotone except possibly leaf-set final steps, which must
+            # strictly approach the key numerically instead.
+            for i in range(len(path) - 1):
+                if prefixes[i + 1] < prefixes[i]:
+                    d_now = ring_distance(pastry512.id_of[path[i]], key)
+                    d_next = ring_distance(pastry512.id_of[path[i + 1]], key)
+                    assert d_next < d_now
+
+    def test_hop_count_logarithmic(self, pastry512):
+        mean = pastry512.sample_mean_hops(300, seed=0)
+        # log_16(512) ~ 2.25; allow generous slack but forbid linear.
+        assert mean < 2 * math.log(512, 16) + 2
+
+    def test_self_route_is_empty(self, pastry64):
+        assert pastry64.route(5, 5).hops == 0
+
+
+class TestLeafSet:
+    def test_leaf_set_size(self, pastry512):
+        leaves = pastry512.leaf_set(0)
+        assert len(leaves) == 16
+
+    def test_leaf_set_excludes_self(self, pastry64):
+        assert 0 not in pastry64.leaf_set(0)
+
+    def test_leaves_are_ring_closest(self, pastry512):
+        """Every leaf is among the 2*leaf_half rank-nearest nodes."""
+        node = 7
+        r = int(pastry512.rank_of[node])
+        expected = set()
+        for off in range(1, pastry512.leaf_half + 1):
+            expected.add(int(pastry512.sorted_indices[(r + off) % 512]))
+            expected.add(int(pastry512.sorted_indices[(r - off) % 512]))
+        assert set(pastry512.leaf_set(node)) == expected
+
+    def test_tiny_network_leafset_covers_ring(self):
+        ov = PastryOverlay(5, seed=3)
+        for node in range(5):
+            assert set(ov.leaf_set(node)) == set(range(5)) - {node}
+
+
+class TestRoutingTable:
+    def test_entries_share_required_prefix(self, pastry512):
+        node = 3
+        own = pastry512.id_of[node]
+        for row in range(3):
+            for col in range(16):
+                entry = pastry512.table_entry(node, row, col)
+                if entry < 0:
+                    continue
+                eid = pastry512.id_of[entry]
+                assert shared_prefix_digits(own, eid, 4) >= row
+                from repro.overlay.node_id import digit_at
+
+                assert digit_at(eid, row, 4) == col
+
+    def test_own_digit_column_empty(self, pastry512):
+        from repro.overlay.node_id import digit_at
+
+        node = 3
+        own_digit = digit_at(pastry512.id_of[node], 0, 4)
+        assert pastry512.table_entry(node, 0, own_digit) == -1
+
+
+class TestOwner:
+    def test_owner_of_node_id_is_node(self, pastry64):
+        for node in range(0, 64, 9):
+            assert pastry64.owner(pastry64.id_of[node]) == node
+
+    def test_owner_is_numerically_closest(self, pastry64):
+        key = 123456789 << 64
+        owner = pastry64.owner(key)
+        d_owner = ring_distance(pastry64.id_of[owner], key)
+        for other in range(64):
+            assert d_owner <= ring_distance(pastry64.id_of[other], key)
+
+
+class TestNeighbors:
+    def test_neighbors_exclude_self(self, pastry64):
+        assert 0 not in pastry64.neighbors(0)
+
+    def test_neighbors_superset_of_leaves(self, pastry64):
+        assert set(pastry64.leaf_set(3)) <= set(pastry64.neighbors(3))
+
+    def test_neighbor_cache_consistent(self, pastry64):
+        assert pastry64.neighbors(9) is pastry64.neighbors(9)
+
+    def test_mean_neighbor_count_reasonable(self, pastry512):
+        g = pastry512.mean_neighbor_count()
+        # Leaf set (16) + populated table rows; far below N.
+        assert 16 <= g < 128
+
+
+class TestPaperHopNumbers:
+    def test_thousand_node_hops_near_paper(self):
+        """The paper quotes ~2.5 hops for Pastry at N=1000."""
+        ov = PastryOverlay(1000, seed=4)
+        mean = ov.sample_mean_hops(400, seed=1)
+        assert 2.0 <= mean <= 3.1

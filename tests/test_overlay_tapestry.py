@@ -1,0 +1,135 @@
+"""Unit tests for the Tapestry overlay."""
+
+import math
+
+import pytest
+
+from repro.overlay.tapestry import (
+    TapestryOverlay,
+    _reverse_digits,
+    _shared_suffix_digits,
+)
+
+
+@pytest.fixture(scope="module")
+def tap128():
+    return TapestryOverlay(128, seed=1)
+
+
+class TestDigitHelpers:
+    def test_reverse_digits_involution(self):
+        from repro.overlay.node_id import node_id_of
+
+        val = node_id_of(42)
+        assert _reverse_digits(_reverse_digits(val, 4), 4) == val
+
+    def test_reverse_digits_known(self):
+        # id with digits [..0, 0, A, B] reversed -> [B, A, 0, ..0].
+        val = 0xAB
+        rev = _reverse_digits(val, 4)
+        assert rev >> (128 - 8) == 0xBA
+
+    def test_shared_suffix(self):
+        assert _shared_suffix_digits(0xAB, 0xCB, 4) == 1
+        assert _shared_suffix_digits(0xAB, 0xAB, 4) == 32
+        assert _shared_suffix_digits(0xAB, 0xAC, 4) == 0
+
+
+class TestRouting:
+    def test_all_pairs_terminate(self):
+        ov = TapestryOverlay(23, seed=2)
+        for src in range(23):
+            for dst in range(23):
+                path = ov.route(src, dst).path
+                assert path[0] == src and path[-1] == dst
+
+    def test_suffix_match_grows_monotonically(self, tap128):
+        """Tapestry invariant: each hop matches >= one more low digit."""
+        for src, dst in [(0, 100), (77, 3), (127, 64)]:
+            key = tap128.id_of[dst]
+            path = tap128.route(src, dst).path
+            levels = [
+                _shared_suffix_digits(tap128.id_of[n], key, tap128.b)
+                for n in path
+            ]
+            assert all(b > a for a, b in zip(levels, levels[1:]))
+
+    def test_hops_logarithmic(self, tap128):
+        mean = tap128.sample_mean_hops(300, seed=0)
+        assert mean < 2 * math.log(128, 16) + 2
+
+    def test_comparable_to_pastry(self):
+        """The paper's analysis treats Pastry and Tapestry as the same
+        class; their mean hops must be within one hop of each other."""
+        from repro.overlay.pastry import PastryOverlay
+
+        tap = TapestryOverlay(500, seed=3).sample_mean_hops(300, seed=1)
+        pas = PastryOverlay(500, seed=3).sample_mean_hops(300, seed=1)
+        assert abs(tap - pas) < 1.0
+
+    def test_single_node(self):
+        ov = TapestryOverlay(1, seed=0)
+        assert ov.route(0, 0).hops == 0
+
+
+class TestNeighbors:
+    def test_exclude_self(self, tap128):
+        for node in (0, 64, 127):
+            assert node not in tap128.neighbors(node)
+
+    def test_mesh_size_reasonable(self, tap128):
+        g = tap128.mean_neighbor_count()
+        assert 4 <= g < 128
+
+    def test_cached(self, tap128):
+        assert tap128.neighbors(5) is tap128.neighbors(5)
+
+
+class TestSurrogate:
+    def test_surrogate_owner_deterministic(self, tap128):
+        key = 0xDEADBEEF << 64
+        assert tap128.surrogate_owner(key) == tap128.surrogate_owner(key)
+
+    def test_surrogate_owner_of_node_id_is_node(self, tap128):
+        for node in range(0, 128, 17):
+            assert tap128.surrogate_owner(tap128.id_of[node]) == node
+
+    def test_every_key_has_a_root(self, tap128):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            key = int(rng.integers(0, 2**63)) << 64 | int(rng.integers(0, 2**63))
+            root = tap128.surrogate_owner(key)
+            assert 0 <= root < 128
+
+    def test_roots_spread_over_nodes(self, tap128):
+        # Tapestry resolves keys from the LOW digits, so the keys must
+        # vary there for their roots to spread.
+        from repro.utils.hashing import stable_uint128
+
+        roots = {
+            tap128.surrogate_owner(stable_uint128(f"key-{i}")) for i in range(200)
+        }
+        assert len(roots) > 32  # keys don't collapse onto few roots
+
+
+class TestFactoryIntegration:
+    def test_build_overlay_knows_tapestry(self):
+        from repro.overlay import build_overlay
+
+        ov = build_overlay("tapestry", 16, seed=1)
+        assert isinstance(ov, TapestryOverlay)
+
+    def test_distributed_run_over_tapestry(self, contest_small):
+        from repro.core import run_distributed_pagerank
+
+        res = run_distributed_pagerank(
+            contest_small, n_groups=8, overlay="tapestry", t1=1.0, t2=1.0,
+            seed=5, target_relative_error=1e-4, max_time=400.0,
+        )
+        assert res.converged
+
+    def test_rejects_bad_digit_width(self):
+        with pytest.raises(ValueError):
+            TapestryOverlay(8, bits_per_digit=5)

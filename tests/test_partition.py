@@ -1,0 +1,112 @@
+"""Unit tests for repro.graph.partition."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Partition,
+    google_contest_like,
+    make_partition,
+    partition_by_site_hash,
+    partition_by_url_hash,
+    partition_contiguous,
+    partition_random,
+)
+
+
+class TestPartitionObject:
+    def test_pages_of_group_covers_everything(self, contest_small):
+        part = partition_contiguous(contest_small, 7)
+        seen = np.concatenate([part.pages_of_group(g) for g in range(7)])
+        assert sorted(seen.tolist()) == list(range(contest_small.n_pages))
+
+    def test_local_index_roundtrip(self, contest_small):
+        part = partition_random(contest_small, 5, seed=0)
+        local = part.local_index()
+        for g in range(5):
+            pages = part.pages_of_group(g)
+            np.testing.assert_array_equal(local[pages], np.arange(pages.size))
+
+    def test_group_sizes_sum(self, contest_small):
+        part = partition_random(contest_small, 9, seed=1)
+        assert part.group_sizes().sum() == contest_small.n_pages
+
+    def test_empty_groups_allowed(self, tiny_graph):
+        part = Partition(np.zeros(5, dtype=np.int64), 4)
+        assert part.pages_of_group(3).size == 0
+
+    def test_rejects_bad_group_ids(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 5]), 3)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0]), 0)
+
+    def test_imbalance_of_balanced_partition(self, contest_small):
+        part = partition_contiguous(contest_small, 8)
+        assert part.imbalance() == pytest.approx(1.0, abs=0.01)
+
+    def test_equality(self, tiny_graph):
+        a = partition_contiguous(tiny_graph, 2)
+        b = partition_contiguous(tiny_graph, 2)
+        assert a == b
+
+
+class TestStrategies:
+    def test_random_is_seed_deterministic(self, contest_small):
+        a = partition_random(contest_small, 4, seed=3)
+        b = partition_random(contest_small, 4, seed=3)
+        assert a == b
+
+    def test_random_different_seeds_differ(self, contest_small):
+        a = partition_random(contest_small, 4, seed=3)
+        b = partition_random(contest_small, 4, seed=4)
+        assert a != b
+
+    def test_url_hash_is_process_independent(self, tiny_graph):
+        # URL hashing must derive only from the page URL, never from
+        # Python's salted hash().
+        part = partition_by_url_hash(tiny_graph, 3)
+        again = partition_by_url_hash(tiny_graph, 3)
+        assert part == again
+
+    def test_url_hash_spreads_site_pages(self):
+        g = google_contest_like(2000, 4, seed=0)
+        part = partition_by_url_hash(g, 8)
+        # Pages of the largest site should hit many groups.
+        pages = g.pages_of_site(0)
+        assert len(set(part.group_of[pages].tolist())) >= 6
+
+    def test_site_hash_keeps_sites_whole(self, contest_small):
+        part = partition_by_site_hash(contest_small, 6)
+        for site in range(contest_small.n_sites):
+            pages = contest_small.pages_of_site(site)
+            assert len(set(part.group_of[pages].tolist())) == 1
+
+    def test_site_hash_salt_changes_mapping(self, contest_small):
+        a = partition_by_site_hash(contest_small, 16, salt="a")
+        b = partition_by_site_hash(contest_small, 16, salt="b")
+        assert a != b
+
+    def test_contiguous_chunks(self, contest_small):
+        part = partition_contiguous(contest_small, 4)
+        assert (np.diff(part.group_of) >= 0).all()
+
+    def test_recrawl_stability_site_hash(self, contest_small):
+        """§4.1: a re-encountered page must land on the same ranker."""
+        part1 = partition_by_site_hash(contest_small, 10)
+        part2 = partition_by_site_hash(contest_small, 10)
+        np.testing.assert_array_equal(part1.group_of, part2.group_of)
+
+
+class TestMakePartition:
+    @pytest.mark.parametrize("strategy", ["random", "url", "site", "contiguous"])
+    def test_dispatch(self, contest_small, strategy):
+        part = make_partition(contest_small, 4, strategy)
+        assert part.n_groups == 4
+        assert part.n_pages == contest_small.n_pages
+
+    def test_unknown_strategy(self, contest_small):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_partition(contest_small, 4, "metis")

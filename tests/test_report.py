@@ -1,0 +1,57 @@
+"""Tests for the full-suite reproduction report."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentScale, run_all
+
+TINY = ExperimentScale(n_pages=400, n_sites=20, seed=9)
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A fast representative subset; the full suite is exercised by
+        # the benchmark harness.
+        return run_all(
+            scale=TINY,
+            only=("table1", "partitioning", "tradeoff"),
+            table1_ns=(1_000,),
+        )
+
+    def test_sections_present(self, report):
+        assert set(report.sections) == {"table1", "partitioning", "tradeoff"}
+        assert set(report.results) == set(report.sections)
+
+    def test_format_contains_all_sections(self, report):
+        text = report.format()
+        assert "Reproduction report" in text
+        for name in report.sections:
+            assert f"[{name}]" in text
+
+    def test_durations_recorded(self, report):
+        assert all(d >= 0 for d in report.durations.values())
+
+    def test_save_writes_files(self, report, tmp_path):
+        report.save(tmp_path)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "report.txt" in names
+        assert "table1.txt" in names
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_all(scale=TINY, only=("fig99",))
+
+    def test_registry_matches_runners(self):
+        report = run_all(scale=TINY, only=(), table1_ns=(1_000,))
+        assert report.sections == {}
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "fig6",
+            "fig7",
+            "fig8",
+            "partitioning",
+            "transport",
+            "compression",
+            "overlay_hops",
+            "tradeoff",
+        }

@@ -1,0 +1,55 @@
+"""Unit tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_integer_thousands_separator(self):
+        out = format_table(["n"], [[10_000]])
+        assert "10,000" in out
+
+    def test_scientific_for_extreme_floats(self):
+        out = format_table(["x"], [[1.5e9], [2e-6]])
+        assert "1.5e+09" in out
+        assert "2e-06" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["long-strategy", 1], ["s", 2]])
+        lines = out.splitlines()
+        assert len(lines[2]) >= len("long-strategy")
+
+
+class TestFormatSeries:
+    def test_short_series_all_points(self):
+        out = format_series("s", [1, 2, 3], [4, 5, 6])
+        assert out.count("\n") == 5  # title + header + rule + 3 rows
+
+    def test_long_series_thinned(self):
+        xs = list(range(100))
+        out = format_series("s", xs, xs, max_points=10)
+        rows = out.splitlines()[3:]
+        assert len(rows) <= 10
+        # First and last points survive thinning.
+        assert out.splitlines()[3].startswith("0")
+        assert rows[-1].startswith("99")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])

@@ -1,0 +1,127 @@
+"""Unit tests for repro.net.simulator."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_equal_time_fifo(self):
+        sim = Simulator()
+        log = []
+        for tag in "abcd":
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == list("abcd")
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_from_callback(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append((sim.now, n))
+            if n > 0:
+                sim.schedule(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert log == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        handle.cancel()
+        sim.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControls:
+    def test_until_stops_and_sets_now(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(10.0, log.append, "b")
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+        sim.run()  # remainder still runs
+        assert log == ["a", "b"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), log.append, i)
+        sim.run(max_events=2)
+        assert log == [0, 1]
+
+    def test_stop_condition(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), log.append, i)
+        sim.run(stop_condition=lambda: len(log) >= 3)
+        assert log == [0, 1, 2]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False

@@ -1,0 +1,158 @@
+"""Tests for convergence-rate fitting and replication statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    ConvergenceRate,
+    ReplicationSummary,
+    estimate_convergence_rate,
+    replicate,
+)
+from repro.core.convergence import ConvergenceTrace
+
+
+def synthetic_trace(rate=-0.3, intercept=0.0, n=30, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = ConvergenceTrace()
+    t.times = list(np.arange(n, dtype=float))
+    t.relative_errors = [
+        math.exp(intercept + rate * x + noise * rng.normal()) for x in t.times
+    ]
+    t.mean_ranks = [0.0] * n
+    return t
+
+
+class TestRateFit:
+    def test_recovers_exact_geometric_decay(self):
+        fit = estimate_convergence_rate(synthetic_trace(rate=-0.25))
+        assert fit.rate == pytest.approx(-0.25, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_decay_still_close(self):
+        fit = estimate_convergence_rate(synthetic_trace(rate=-0.25, noise=0.1))
+        assert fit.rate == pytest.approx(-0.25, abs=0.05)
+        assert fit.r_squared > 0.9
+
+    def test_halving_time(self):
+        fit = ConvergenceRate(rate=-math.log(2.0), intercept=0.0, r_squared=1.0, n_points=10)
+        assert fit.halving_time == pytest.approx(1.0)
+
+    def test_non_decaying_trace(self):
+        fit = estimate_convergence_rate(synthetic_trace(rate=0.0))
+        assert fit.halving_time == math.inf
+        assert fit.time_to_error(1e-6) == math.inf
+
+    def test_time_to_error_extrapolation(self):
+        fit = estimate_convergence_rate(synthetic_trace(rate=-0.5, intercept=0.0))
+        # err(t) = e^{-t/2}; err = 1e-4 at t = 2·ln(1e4).
+        assert fit.time_to_error(1e-4) == pytest.approx(2 * math.log(1e4), rel=1e-6)
+
+    def test_floor_samples_excluded(self):
+        trace = synthetic_trace(rate=-1.0, n=40)
+        # Late samples hit the numeric floor; fit must still work.
+        trace.relative_errors = [max(e, 1e-15) for e in trace.relative_errors]
+        fit = estimate_convergence_rate(trace, min_error=1e-12)
+        assert fit.rate == pytest.approx(-1.0, abs=0.01)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            estimate_convergence_rate(synthetic_trace(n=2))
+
+    def test_real_run_decays(self, contest_small):
+        from repro.core import run_distributed_pagerank
+
+        res = run_distributed_pagerank(
+            contest_small, n_groups=6, t1=1.0, t2=1.0, seed=2, max_time=40.0
+        )
+        fit = estimate_convergence_rate(res.trace)
+        assert fit.rate < 0
+        assert fit.r_squared > 0.8
+
+
+class TestReplication:
+    def test_summary_statistics(self):
+        s = ReplicationSummary([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.ci95() == pytest.approx(1.96 / math.sqrt(3))
+
+    def test_single_value(self):
+        s = ReplicationSummary([5.0])
+        assert s.std == 0.0
+        assert s.ci95() == 0.0
+
+    def test_separation(self):
+        a = ReplicationSummary([1.0, 1.1, 0.9])
+        b = ReplicationSummary([5.0, 5.1, 4.9])
+        assert a.separated_from(b)
+        assert not a.separated_from(ReplicationSummary([1.05, 0.95, 1.0]))
+
+    def test_replicate_collects_per_metric(self):
+        out = replicate(lambda seed: {"x": seed, "y": 2 * seed}, seeds=[1, 2, 3])
+        assert out["x"].mean == 2.0
+        assert out["y"].mean == 4.0
+
+    def test_replicate_skips_none(self):
+        out = replicate(
+            lambda seed: {"x": None if seed == 2 else seed}, seeds=[1, 2, 3]
+        )
+        assert out["x"].n == 2
+
+    def test_replicate_needs_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {}, seeds=[])
+
+    def test_loss_slows_convergence_with_error_bars(self, contest_small):
+        """The Fig 6 A-vs-B ordering, now with statistical teeth:
+        across seeds, p=1 reaches the target significantly earlier
+        than p=0.3 (non-overlapping 95% intervals)."""
+        from repro.core import pagerank_open, run_distributed_pagerank
+
+        reference = pagerank_open(contest_small, tol=1e-12).ranks
+
+        def runner(p):
+            def fn(seed):
+                res = run_distributed_pagerank(
+                    contest_small, n_groups=8, delivery_prob=p,
+                    t1=1.0, t2=1.0, seed=seed, reference=reference,
+                    target_relative_error=1e-4, max_time=2000.0,
+                )
+                return {"t": res.time_to_target}
+            return fn
+
+        seeds = [1, 2, 3, 4, 5]
+        clean = replicate(runner(1.0), seeds)["t"]
+        lossy = replicate(runner(0.3), seeds)["t"]
+        assert clean.mean < lossy.mean
+        assert clean.separated_from(lossy)
+
+    def test_fig8_ordering_robust_across_seeds(self, contest_small):
+        """The headline Fig 8 claim (DPR1 needs fewer iterations than
+        DPR2) holds in the mean across seeds, not just for one draw."""
+        from repro.core import pagerank_open, run_distributed_pagerank
+
+        reference = pagerank_open(contest_small, tol=1e-12).ranks
+
+        def runner(algorithm):
+            def fn(seed):
+                res = run_distributed_pagerank(
+                    contest_small, n_groups=8, algorithm=algorithm,
+                    partition_strategy="site", t1=5.0, t2=5.0, seed=seed,
+                    sample_interval=2.0, reference=reference,
+                    target_relative_error=1e-4, max_time=3000.0,
+                )
+                return {
+                    "iters": res.trace.mean_outer_iterations[-1]
+                    if res.converged
+                    else None
+                }
+            return fn
+
+        seeds = [1, 2, 3, 4]
+        dpr1 = replicate(runner("dpr1"), seeds)["iters"]
+        dpr2 = replicate(runner("dpr2"), seeds)["iters"]
+        assert dpr1.n == dpr2.n == len(seeds)  # all runs converged
+        assert dpr1.mean < dpr2.mean

@@ -1,0 +1,91 @@
+"""Tests for message tracing and related observability."""
+
+import pytest
+
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.simulator import Simulator
+from repro.net.tracing import MessageRecord, MessageTrace, install_tracing
+
+
+class TestMessageTrace:
+    def test_add_and_len(self):
+        trace = MessageTrace()
+        trace.add(MessageRecord(1.0, "data", 0, 1, 100))
+        assert len(trace) == 1
+
+    def test_ring_buffer_eviction(self):
+        trace = MessageTrace(capacity=3)
+        for i in range(5):
+            trace.add(MessageRecord(float(i), "data", 0, 1, 10))
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert trace.records()[0].time == 2.0
+
+    def test_filters(self):
+        trace = MessageTrace()
+        trace.add(MessageRecord(1.0, "data", 0, 1, 100))
+        trace.add(MessageRecord(2.0, "lookup", 0, -1, 50))
+        trace.add(MessageRecord(3.0, "data", 2, 1, 200))
+        assert len(trace.records(kind="data")) == 2
+        assert len(trace.records(src=0)) == 2
+        assert len(trace.records(dst=1)) == 2
+        assert len(trace.records(since=2.5)) == 1
+
+    def test_bytes_between(self):
+        trace = MessageTrace()
+        trace.add(MessageRecord(1.0, "data", 0, 1, 100))
+        trace.add(MessageRecord(2.0, "data", 0, 1, 150))
+        trace.add(MessageRecord(3.0, "data", 1, 0, 999))
+        assert trace.bytes_between(0, 1) == 250
+
+    def test_busiest_links(self):
+        trace = MessageTrace()
+        trace.add(MessageRecord(1.0, "data", 0, 1, 100))
+        trace.add(MessageRecord(2.0, "data", 2, 3, 500))
+        assert trace.busiest_links(1) == [(2, 3, 500)]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MessageTrace(capacity=0)
+
+
+class TestInstallTracing:
+    def test_mirrors_accountant(self):
+        sim = Simulator()
+        acc = TrafficAccountant(4)
+        trace = MessageTrace()
+        install_tracing(sim, acc, trace)
+        acc.record_data_message(0, 1, 123)
+        acc.record_lookup(2, hops=3, bytes_per_hop=50)
+        assert len(trace) == 2
+        assert acc.data_messages == 1  # original accounting still runs
+        assert acc.lookup_messages == 3
+        rec = trace.records(kind="lookup")[0]
+        assert rec.n_bytes == 150
+
+    def test_uninstall_restores(self):
+        sim = Simulator()
+        acc = TrafficAccountant(2)
+        trace = MessageTrace()
+        uninstall = install_tracing(sim, acc, trace)
+        uninstall()
+        acc.record_data_message(0, 1, 10)
+        assert len(trace) == 0
+        assert acc.data_messages == 1
+
+    def test_end_to_end_trace_of_a_run(self, contest_small):
+        """Trace a whole distributed run and check it reconciles with
+        the aggregate counters."""
+        from repro.core import DistributedConfig, DistributedRun
+
+        run = DistributedRun(
+            contest_small, DistributedConfig(n_groups=4, t1=1.0, t2=1.0, seed=1)
+        )
+        trace = MessageTrace()
+        install_tracing(run.sim, run.accountant, trace)
+        result = run.run(max_time=20.0)
+        data_records = trace.records(kind="data")
+        assert len(data_records) == result.traffic.data_messages
+        assert sum(r.n_bytes for r in data_records) == result.traffic.data_bytes
+        # Timestamps lie inside the simulated horizon.
+        assert all(0.0 <= r.time <= 20.0 for r in data_records)

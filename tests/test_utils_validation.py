@@ -1,0 +1,74 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2, "x") == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(bad, "x")
+
+    def test_rejects_nan_and_inf(self):
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError, match="finite"):
+                check_positive(bad, "x")
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+        with pytest.raises(TypeError):
+            check_positive("3", "x")  # type: ignore[arg-type]
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok, "p") == float(ok)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction(0.85, "alpha") == 0.85
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction(bad, "alpha")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1, "x", 1, 2) == 1.0
+        assert check_in_range(2, "x", 1, 2) == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(3, "x", 1, 2)

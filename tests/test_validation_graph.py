@@ -1,0 +1,120 @@
+"""Tests for the WebGraph integrity checker."""
+
+import numpy as np
+import pytest
+
+from repro.graph import WebGraphInvariantError, check_webgraph, google_contest_like
+
+
+class TestCheckWebgraph:
+    def test_valid_graph_passes(self, tiny_graph):
+        assert check_webgraph(tiny_graph) == []
+
+    def test_generated_graph_passes(self):
+        assert check_webgraph(google_contest_like(500, 10, seed=1)) == []
+
+    def test_corrupted_indptr_detected(self, tiny_graph):
+        tiny_graph.indptr[2] = 99  # break monotonic/nnz consistency
+        problems = check_webgraph(tiny_graph, raise_on_error=False)
+        assert problems
+        with pytest.raises(WebGraphInvariantError):
+            check_webgraph(tiny_graph)
+
+    def test_corrupted_targets_detected(self, tiny_graph):
+        tiny_graph.indices[0] = 999
+        problems = check_webgraph(tiny_graph, raise_on_error=False)
+        assert any("out of range" in p for p in problems)
+
+    def test_negative_external_detected(self, tiny_graph):
+        tiny_graph.external_out[1] = -1
+        problems = check_webgraph(tiny_graph, raise_on_error=False)
+        assert any("external" in p for p in problems)
+
+    def test_site_id_overflow_detected(self, tiny_graph):
+        tiny_graph.site_of[0] = 50
+        problems = check_webgraph(tiny_graph, raise_on_error=False)
+        assert any("site" in p for p in problems)
+
+    def test_loader_rejects_corrupted_file(self, tmp_path, tiny_graph):
+        from repro.graph import load_webgraph, save_webgraph
+
+        path = tmp_path / "g.npz"
+        save_webgraph(tiny_graph, path)
+        # Corrupt the stored indices.
+        with np.load(path, allow_pickle=True) as data:
+            fields = dict(data)
+        fields["indices"] = np.array([99] * fields["indices"].size)
+        np.savez_compressed(path, **fields)
+        with pytest.raises((WebGraphInvariantError, ValueError)):
+            load_webgraph(path)
+
+
+class TestStragglersAndTTL:
+    def test_explicit_mean_waits_straggler(self, contest_small):
+        """One 20x-slower ranker delays but does not prevent convergence."""
+        from repro.core import run_distributed_pagerank
+
+        waits = [1.0] * 8
+        waits[3] = 20.0
+        slow = run_distributed_pagerank(
+            contest_small, n_groups=8, mean_waits=waits, seed=2,
+            target_relative_error=1e-4, max_time=2000.0,
+        )
+        fast = run_distributed_pagerank(
+            contest_small, n_groups=8, mean_waits=[1.0] * 8, seed=2,
+            target_relative_error=1e-4, max_time=2000.0,
+        )
+        assert slow.converged and fast.converged
+        assert slow.time_to_target > fast.time_to_target
+
+    def test_mean_waits_validation(self, contest_small):
+        from repro.core import DistributedConfig
+
+        with pytest.raises(ValueError):
+            DistributedConfig(n_groups=4, mean_waits=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            DistributedConfig(n_groups=2, mean_waits=[1.0, -2.0])
+
+    def test_ttl_never_fires_on_healthy_overlay(self, contest_small):
+        from repro.core import DistributedConfig, DistributedRun
+
+        run = DistributedRun(
+            contest_small, DistributedConfig(n_groups=8, t1=1.0, t2=1.0, seed=3)
+        )
+        run.run(max_time=30.0)
+        assert run.transport.expired_updates == 0
+
+    def test_ttl_drops_on_tiny_budget(self):
+        """With ttl=1 any multi-hop update expires at its first relay."""
+        import numpy as np
+
+        from repro.net.bandwidth import TrafficAccountant
+        from repro.net.message import ScoreUpdate
+        from repro.net.simulator import Simulator
+        from repro.net.transport import IndirectTransport
+        from tests.test_transport import LineOverlay
+
+        sim = Simulator()
+        t = IndirectTransport(
+            sim, LineOverlay(5), TrafficAccountant(5), aggregation_delay=0.0, ttl=1
+        )
+        delivered = []
+        t.attach(lambda dst, u: delivered.append(u))
+        t.send_updates(
+            0,
+            [ScoreUpdate(0, 4, np.zeros(1), 1, generation=1)],
+        )
+        sim.run()
+        assert delivered == []
+        assert t.expired_updates == 1
+
+    def test_ttl_validation(self):
+        from repro.net.bandwidth import TrafficAccountant
+        from repro.net.simulator import Simulator
+        from repro.net.transport import IndirectTransport
+        from tests.test_transport import LineOverlay
+
+        with pytest.raises(ValueError):
+            IndirectTransport(
+                Simulator(), LineOverlay(3), TrafficAccountant(3), ttl=0
+            )

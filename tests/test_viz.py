@@ -1,0 +1,56 @@
+"""Unit tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.analysis.viz import ascii_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(37))) == 37
+
+    def test_extremes_hit_both_ends(self):
+        s = sparkline([0, 100])
+        assert s[0] == "▁" and s[-1] == "█"
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"err": [10, 5, 2, 1, 0.5]}, width=20, height=5, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert any("*" in line for line in lines)
+        assert "err" in lines[-1]
+
+    def test_two_series_distinct_markers(self):
+        out = ascii_chart({"a": [1, 2], "b": [2, 1]}, width=10, height=4)
+        assert "* a" in out
+        assert "o b" in out
+
+    def test_y_labels_show_range(self):
+        out = ascii_chart({"a": [0.0, 8.0]}, width=10, height=4)
+        assert "8" in out
+        assert "0" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1, 2]}, width=2, height=2)
+
+    def test_constant_series_renders(self):
+        out = ascii_chart({"a": [3, 3, 3]}, width=10, height=4)
+        assert "*" in out

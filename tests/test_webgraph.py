@@ -1,0 +1,169 @@
+"""Unit tests for repro.graph.webgraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import WebGraph, ring_web
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.n_pages == 5
+        assert tiny_graph.n_internal_links == 5
+        assert tiny_graph.n_external_links == 1
+        assert tiny_graph.n_links == 6
+        assert tiny_graph.n_sites == 2
+
+    def test_empty_graph(self):
+        g = WebGraph(0, [], [])
+        assert g.n_pages == 0
+        assert g.n_links == 0
+
+    def test_no_edges(self):
+        g = WebGraph(3, [], [])
+        assert g.n_internal_links == 0
+        assert list(g.out_degrees()) == [0, 0, 0]
+
+    def test_duplicate_edges_kept(self):
+        g = WebGraph(2, [0, 0], [1, 1])
+        assert g.n_internal_links == 2
+        assert g.adjacency()[0, 1] == 2.0
+
+    def test_rejects_out_of_range_src(self):
+        with pytest.raises(ValueError, match="src"):
+            WebGraph(2, [2], [0])
+
+    def test_rejects_out_of_range_dst(self):
+        with pytest.raises(ValueError, match="dst"):
+            WebGraph(2, [0], [5])
+
+    def test_rejects_mismatched_edge_arrays(self):
+        with pytest.raises(ValueError):
+            WebGraph(3, [0, 1], [2])
+
+    def test_rejects_bad_site_shape(self):
+        with pytest.raises(ValueError):
+            WebGraph(3, [], [], site_of=[0, 1])
+
+    def test_rejects_negative_external(self):
+        with pytest.raises(ValueError):
+            WebGraph(2, [], [], external_out=[1, -1])
+
+    def test_rejects_short_site_names(self):
+        with pytest.raises(ValueError):
+            WebGraph(2, [], [], site_of=[0, 1], site_names=("only-one",))
+
+    def test_default_site_names_generated(self):
+        g = WebGraph(2, [], [], site_of=[0, 1])
+        assert len(g.site_names) == 2
+
+
+class TestDegrees:
+    def test_out_degree_includes_external(self, tiny_graph):
+        assert list(tiny_graph.out_degrees()) == [2, 2, 1, 1, 0]
+
+    def test_internal_out_degrees(self, tiny_graph):
+        assert list(tiny_graph.internal_out_degrees()) == [2, 1, 1, 1, 0]
+
+    def test_in_degrees(self, tiny_graph):
+        assert list(tiny_graph.in_degrees()) == [1, 1, 2, 0, 1]
+
+    def test_dangling_pages(self, tiny_graph):
+        assert list(tiny_graph.dangling_pages()) == [4]
+
+    def test_page_with_only_external_links_is_not_dangling(self):
+        g = WebGraph(1, [], [], external_out=[3])
+        assert g.dangling_pages().size == 0
+        assert g.out_degrees()[0] == 3
+
+
+class TestNavigation:
+    def test_successors(self, tiny_graph):
+        assert sorted(tiny_graph.successors(0).tolist()) == [1, 2]
+        assert tiny_graph.successors(4).size == 0
+
+    def test_successors_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.successors(5)
+
+    def test_edges_roundtrip(self, tiny_graph):
+        src, dst = tiny_graph.edges()
+        rebuilt = WebGraph(
+            5,
+            src,
+            dst,
+            site_of=tiny_graph.site_of,
+            external_out=tiny_graph.external_out,
+            site_names=tiny_graph.site_names,
+        )
+        assert rebuilt == tiny_graph
+
+    def test_adjacency_row_sums_match_internal_degrees(self, contest_small):
+        adj = contest_small.adjacency()
+        row_sums = np.asarray(adj.sum(axis=1)).ravel()
+        np.testing.assert_array_equal(
+            row_sums, contest_small.internal_out_degrees().astype(float)
+        )
+
+
+class TestSitesAndUrls:
+    def test_url_is_deterministic_and_site_scoped(self, tiny_graph):
+        assert tiny_graph.url_of(0) == "http://a.example.edu/page/0.html"
+        assert tiny_graph.url_of(3) == "http://b.example.edu/page/3.html"
+
+    def test_url_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.url_of(9)
+
+    def test_pages_of_site(self, tiny_graph):
+        assert list(tiny_graph.pages_of_site(0)) == [0, 1, 2]
+        assert list(tiny_graph.pages_of_site(1)) == [3, 4]
+
+
+class TestDynamics:
+    def test_with_edges_added(self, tiny_graph):
+        g2 = tiny_graph.with_edges_added([4], [0])
+        assert g2.n_internal_links == tiny_graph.n_internal_links + 1
+        assert 0 in g2.successors(4)
+        # Original untouched (immutability).
+        assert tiny_graph.successors(4).size == 0
+
+    def test_with_edges_removed(self, tiny_graph):
+        g2 = tiny_graph.with_edges_removed([0], [1])
+        assert g2.n_internal_links == tiny_graph.n_internal_links - 1
+        assert 1 not in g2.successors(0)
+
+    def test_remove_one_of_duplicates(self):
+        g = WebGraph(2, [0, 0], [1, 1])
+        g2 = g.with_edges_removed([0], [1])
+        assert g2.n_internal_links == 1
+
+    def test_remove_missing_edge_is_noop(self, tiny_graph):
+        g2 = tiny_graph.with_edges_removed([4], [0])
+        assert g2 == tiny_graph
+
+
+class TestInterop:
+    def test_to_networkx(self, tiny_graph):
+        nxg = tiny_graph.to_networkx()
+        assert nxg.number_of_nodes() == 5
+        assert nxg.number_of_edges() == 5
+        assert nxg.nodes[0]["site"] == 0
+        assert nxg.nodes[1]["external_out"] == 1
+
+    def test_equality_is_order_insensitive(self):
+        a = WebGraph(3, [0, 1], [1, 2])
+        b = WebGraph(3, [1, 0], [2, 1])
+        assert a == b
+
+    def test_inequality(self):
+        assert WebGraph(3, [0], [1]) != WebGraph(3, [0], [2])
+
+    def test_repr_mentions_sizes(self, tiny_graph):
+        assert "n_pages=5" in repr(tiny_graph)
+
+
+class TestRing:
+    def test_ring_structure(self):
+        g = ring_web(4)
+        assert [int(g.successors(i)[0]) for i in range(4)] == [1, 2, 3, 0]
