@@ -60,6 +60,10 @@ class DistributedConfig:
     local_tol: float = 1e-10
     max_inner: int = 1000
     inner_solver: str = "jacobi"  # "jacobi" | "gauss_seidel" (DPR1 only)
+    #: Running afferent-sum maintenance policy per node: "exact"
+    #: (bit-reproducible, the default) or "delta" (O(changed) updates;
+    #: see repro.core.dpr module docs for the tradeoff).
+    x_mode: str = "exact"
     hop_delay: float = 0.5
     aggregation_delay: float = 0.25
     suppress_tol: float = 0.0
@@ -76,6 +80,8 @@ class DistributedConfig:
             raise ValueError("n_groups must be >= 1")
         if self.algorithm not in ("dpr1", "dpr2"):
             raise ValueError("algorithm must be 'dpr1' or 'dpr2'")
+        if self.x_mode not in ("exact", "delta"):
+            raise ValueError("x_mode must be 'exact' or 'delta'")
         check_fraction(self.alpha, "alpha")
         check_non_negative(self.t1, "t1")
         check_non_negative(self.t2, "t2")
@@ -223,6 +229,7 @@ class DistributedRun:
                 local_tol=config.local_tol,
                 max_inner=config.max_inner,
                 inner_solver=config.inner_solver,
+                x_mode=config.x_mode,
             )
             mean_wait = (
                 float(config.mean_waits[g])

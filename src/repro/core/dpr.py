@@ -20,6 +20,35 @@ arriving late are discarded), and ``X`` is the sum over sources.  With
 ``R0 = 0`` every group's rank sequence is monotone non-decreasing and
 bounded by the centralized fixed point (Theorems 4.1/4.2) — both
 properties are asserted by the test suite.
+
+Hot-path structure
+------------------
+The outer loop is allocation-free: the node owns one
+:class:`~repro.linalg.jacobi.JacobiWorkspace` for its lifetime (so
+DPR1's warm-started inner solves sweep in ping-pong buffers and DPR2's
+single sweep is one fused kernel), keeps a running afferent sum ``X``
+that is maintained incrementally as updates arrive, and caches
+``f = βE + X`` so a :meth:`step` with no new mail since the previous
+one skips the refresh entirely (``refresh_skips`` counts these).
+
+Two maintenance policies for the running ``X`` (``x_mode``):
+
+* ``"exact"`` (default) — a first message from a new source is added
+  to the running sum in arrival order (bit-identical to a full
+  re-sum); a replacement marks ``X`` dirty and the next refresh
+  rebuilds it by an in-order, in-place re-sum.  Results are
+  **bit-identical** to the naive re-sum-every-step implementation,
+  which the property-based tests assert on end-to-end runs.
+* ``"delta"`` — the paper-suggested O(changed) update: subtract the
+  superseded vector, add the new one.  Cheapest when a node has many
+  sources and few change per step, at the cost of ulp-level
+  floating-point drift relative to a fresh re-sum (bounded by the
+  kernel-equivalence tests; use ``"exact"`` when bit-reproducibility
+  matters more than the constant factor).
+
+Received values are **defensively copied**, so a transport or test
+that mutates (or reuses the buffer of) an array after send cannot
+silently corrupt node state.
 """
 
 from __future__ import annotations
@@ -29,10 +58,13 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.linalg.jacobi import jacobi_solve, jacobi_sweep
+from repro.linalg.jacobi import JacobiWorkspace, jacobi_solve
 from repro.net.message import ScoreUpdate
 
 __all__ = ["DPRNode"]
+
+#: Valid maintenance policies for the running afferent sum.
+X_MODES = ("exact", "delta")
 
 
 class DPRNode:
@@ -58,6 +90,9 @@ class DPRNode:
     r0:
         Initial local rank vector ``S``; zeros by default (the paper's
         choice for which the monotonicity theorems are stated).
+    x_mode:
+        Running-``X`` maintenance policy, ``"exact"`` or ``"delta"``
+        (see module docs).
     """
 
     def __init__(
@@ -71,6 +106,7 @@ class DPRNode:
         max_inner: int = 1000,
         inner_solver: str = "jacobi",
         r0: Optional[np.ndarray] = None,
+        x_mode: str = "exact",
     ):
         if mode not in ("dpr1", "dpr2"):
             raise ValueError(f"mode must be 'dpr1' or 'dpr2', got {mode!r}")
@@ -78,6 +114,8 @@ class DPRNode:
             raise ValueError(
                 f"inner_solver must be 'jacobi' or 'gauss_seidel', got {inner_solver!r}"
             )
+        if x_mode not in X_MODES:
+            raise ValueError(f"x_mode must be one of {X_MODES}, got {x_mode!r}")
         self.group = int(group)
         self.a_group = a_group
         self.beta_e = np.asarray(beta_e, dtype=np.float64)
@@ -90,7 +128,10 @@ class DPRNode:
         self.local_tol = float(local_tol)
         self.max_inner = int(max_inner)
         self.inner_solver = inner_solver
+        self.x_mode = x_mode
 
+        #: Stable local rank buffer, updated in place by :meth:`step`
+        #: (copy it to retain a snapshot across steps).
         self.r = (
             np.zeros(n_local, dtype=np.float64)
             if r0 is None
@@ -99,9 +140,20 @@ class DPRNode:
         if self.r.shape != (n_local,):
             raise ValueError(f"r0 shape {self.r.shape}, want ({n_local},)")
 
-        #: Newest afferent vector per source group.
+        #: Newest afferent vector per source group (defensive copies).
         self._latest_values: Dict[int, np.ndarray] = {}
         self._latest_gen: Dict[int, int] = {}
+        #: Running afferent sum, incrementally maintained on receive.
+        self._x = np.zeros(n_local, dtype=np.float64)
+        #: True when ``_x`` no longer matches ``_latest_values`` and
+        #: the next refresh must re-sum (exact mode after a replace).
+        self._x_dirty = False
+        #: True when mail accepted since ``_f`` was last computed.
+        self._mail = False
+        #: Cached ``f = βE + X`` (valid whenever ``_mail`` is False).
+        self._f = self.beta_e.copy()
+        #: Lifetime sweep buffers — the allocation-free inner kernels.
+        self._workspace = JacobiWorkspace(n_local)
         #: Outer-loop count (the "iterations" of Fig 8 for DPR2; for
         #: DPR1 one outer loop may contain many inner sweeps).
         self.outer_iterations = 0
@@ -113,6 +165,8 @@ class DPRNode:
         self.inner_sweeps = 0
         #: Updates discarded because a newer generation was already held.
         self.stale_updates = 0
+        #: Steps that reused the cached ``f`` because no mail arrived.
+        self.refresh_skips = 0
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +179,11 @@ class DPRNode:
         Out-of-order delivery is expected under the asynchronous
         simulator — indirect transmission can reorder packages — and
         the generation stamp makes refresh idempotent.
+
+        The update's values are copied before being stored, so senders
+        reusing (or mutating) their buffers after the call cannot
+        corrupt this node's state.  The running ``X`` is maintained
+        incrementally per the node's ``x_mode`` (see module docs).
         """
         if update.dst_group != self.group:
             raise ValueError(
@@ -138,30 +197,60 @@ class DPRNode:
         if src in self._latest_gen and update.generation <= self._latest_gen[src]:
             self.stale_updates += 1
             return
+        values = np.array(update.values, dtype=np.float64)
+        old = self._latest_values.get(src)
         self._latest_gen[src] = update.generation
-        self._latest_values[src] = update.values
+        self._latest_values[src] = values
+        if old is None:
+            # Appending a new source to the running sum in arrival
+            # order is the same arithmetic as re-summing, so the cache
+            # stays exact in both modes.
+            if not self._x_dirty:
+                np.add(self._x, values, out=self._x)
+        elif self.x_mode == "delta":
+            np.subtract(self._x, old, out=self._x)
+            np.add(self._x, values, out=self._x)
+        else:
+            self._x_dirty = True
+        self._mail = True
+
+    def _refresh(self) -> np.ndarray:
+        """Bring the running ``X`` up to date; returns the live buffer."""
+        if self._x_dirty:
+            x = self._x
+            x[:] = 0.0
+            for vec in self._latest_values.values():
+                np.add(x, vec, out=x)
+            self._x_dirty = False
+        return self._x
 
     def refresh_x(self) -> np.ndarray:
-        """The "Refresh X" step: sum of newest per-source vectors."""
-        x = np.zeros(self.n_local, dtype=np.float64)
-        for vec in self._latest_values.values():
-            x += vec
-        return x
+        """The "Refresh X" step: sum of newest per-source vectors.
+
+        Returns a fresh copy (the live running sum stays internal).
+        """
+        return self._refresh().copy()
 
     def step(self) -> np.ndarray:
         """One outer loop: refresh X, recompute R; returns the new R.
 
         DPR1 runs ``GroupPageRank(R_i, X_{i+1})`` — a full Jacobi solve
         warm-started from the previous local ranks; DPR2 performs a
-        single sweep ``R ← A_G R + βE + X``.
+        single sweep ``R ← A_G R + βE + X``.  The returned array is the
+        node's live ``r`` buffer, updated in place each step.
         """
-        x = self.refresh_x()
-        f = self.beta_e + x
         if self.n_local == 0:
             self.outer_iterations += 1
             self.last_step_delta = 0.0
             return self.r
-        r_before = self.r
+        if self._mail:
+            self._refresh()
+            np.add(self.beta_e, self._x, out=self._f)
+            self._mail = False
+        else:
+            self.refresh_skips += 1
+        f = self._f
+        ws = self._workspace
         if self.mode == "dpr1":
             if self.inner_solver == "gauss_seidel":
                 from repro.linalg.acceleration import gauss_seidel_solve
@@ -174,13 +263,19 @@ class DPRNode:
                 res = jacobi_solve(
                     self.a_group, f, x0=self.r,
                     tol=self.local_tol, max_iter=self.max_inner,
+                    workspace=ws,
                 )
-            self.r = res.x
             self.inner_sweeps += res.iterations
+            sc = ws._scratch
+            np.subtract(res.x, self.r, out=sc)
+            np.abs(sc, out=sc)
+            self.last_step_delta = float(sc.sum())
+            np.copyto(self.r, res.x)
         else:
-            self.r = jacobi_sweep(self.a_group, self.r, f)
+            delta = ws.sweep_delta(self.a_group, self.r, f, out=ws._ping)
+            np.copyto(self.r, ws._ping)
             self.inner_sweeps += 1
-        self.last_step_delta = float(np.abs(self.r - r_before).sum())
+            self.last_step_delta = delta
         self.outer_iterations += 1
         return self.r
 
@@ -223,12 +318,16 @@ class DPRNode:
         r = np.asarray(state["r"], dtype=np.float64)
         if r.shape != (self.n_local,):
             raise ValueError(f"checkpoint r has shape {r.shape}, want ({self.n_local},)")
-        self.r = r.copy()
+        np.copyto(self.r, r)
         self._latest_values = {
             int(s): np.asarray(v, dtype=np.float64).copy()
             for s, v in state["latest_values"].items()
         }
         self._latest_gen = {int(s): int(g) for s, g in state["latest_gen"].items()}
+        # The running sum and cached f are derived state: force both to
+        # rebuild on the next refresh/step.
+        self._x_dirty = True
+        self._mail = True
         self.outer_iterations = int(state["outer_iterations"])
         self.inner_sweeps = int(state["inner_sweeps"])
         self.stale_updates = int(state["stale_updates"])

@@ -132,8 +132,32 @@ class GroupSystem:
         return self.blocks.diag[g]
 
     def efferent(self, g: int, r: np.ndarray) -> Dict[int, np.ndarray]:
-        """Group ``g``'s efferent contributions ``Y`` per destination."""
+        """Group ``g``'s efferent contributions ``Y`` per destination.
+
+        One SpMV over the group's stacked efferent operator; the dict
+        values are views into a single fresh output array (see
+        :meth:`GroupBlocks.efferent <repro.linalg.operators.GroupBlocks.efferent>`).
+        """
         return self.blocks.efferent(g, r)
+
+    def efferent_into(
+        self, g: int, r: np.ndarray, out: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Allocation-free :meth:`efferent` into a caller-owned buffer.
+
+        ``out`` must have length ``blocks.efferent_rows(g)`` (use
+        ``blocks.efferent_buffer(g)`` to allocate it once); the
+        returned views are valid until ``out`` is reused.
+        """
+        return self.blocks.efferent_into(g, r, out)
+
+    def destinations_of(self, g: int) -> List[int]:
+        """Groups that receive rank from group ``g`` (precomputed)."""
+        return self.blocks.destinations_of(g)
+
+    def sources_of(self, h: int) -> List[int]:
+        """Groups that send rank to group ``h`` (precomputed)."""
+        return self.blocks.sources_of(h)
 
     def cross_records(self, g: int, h: int) -> int:
         """Number of link records group ``g`` ships to group ``h``."""

@@ -121,7 +121,14 @@ class PageRanker:
         self.sim.schedule(self._draw_wait(), self._on_wake)
 
     def _emit(self, r: np.ndarray) -> None:
-        """Compute Y per destination and hand it to the transport."""
+        """Compute Y per destination and hand it to the transport.
+
+        ``system.efferent`` is one stacked SpMV; the per-destination
+        vectors are views into one fresh array per emit, which is safe
+        to hand to in-flight messages (the array is never reused — a
+        double-buffered ``efferent_into`` would alias updates still
+        sitting in transport queues).
+        """
         updates = []
         for dst, values in self.system.efferent(self.group, r).items():
             if self.suppress_tol > 0.0:

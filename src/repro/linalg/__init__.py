@@ -21,7 +21,13 @@ from repro.linalg.operators import (
     group_blocks,
     GroupBlocks,
 )
-from repro.linalg.jacobi import JacobiResult, jacobi_solve, jacobi_sweep
+from repro.linalg.jacobi import (
+    JacobiResult,
+    JacobiWorkspace,
+    csr_matvec_into,
+    jacobi_solve,
+    jacobi_sweep,
+)
 from repro.linalg.acceleration import (
     aitken_extrapolate,
     gauss_seidel_solve,
@@ -43,6 +49,8 @@ __all__ = [
     "group_blocks",
     "GroupBlocks",
     "JacobiResult",
+    "JacobiWorkspace",
+    "csr_matvec_into",
     "jacobi_solve",
     "jacobi_sweep",
     "aitken_extrapolate",

@@ -8,6 +8,22 @@ Theorem 3.3.
 
 The sweep is a single CSR SpMV plus a vector add — the recommended
 "one vectorized kernel per iteration" structure for numerical Python.
+
+Allocation-free hot path
+------------------------
+``jacobi_solve`` and :func:`jacobi_sweep` accept a reusable
+:class:`JacobiWorkspace`, which holds ping-pong iterate buffers and a
+scratch vector so that a solve performs **zero** heap allocations per
+sweep: the SpMV writes into a preallocated output via the CSR kernel,
+``f`` is added in place, and the ``‖Δx‖₁`` termination reduction is
+fused into the same scratch buffer.  A long-lived caller (one
+:class:`~repro.core.dpr.DPRNode` per ranker) keeps one workspace for
+its lifetime, so DPR1's warm-started inner solves stop generating
+O(n_local) garbage every outer loop.
+
+The workspace path performs bit-identical arithmetic to the plain
+path (same CSR kernel, same operation order), which the equivalence
+test layer asserts exactly.
 """
 
 from __future__ import annotations
@@ -20,7 +36,102 @@ import scipy.sparse as sp
 
 from repro.linalg.norms import l1_norm
 
-__all__ = ["JacobiResult", "jacobi_sweep", "jacobi_solve"]
+try:  # scipy's raw CSR kernel: y += A @ x with no temporary
+    from scipy.sparse import _sparsetools as _spt
+
+    _CSR_MATVEC = _spt.csr_matvec
+except (ImportError, AttributeError):  # pragma: no cover - old scipy
+    _CSR_MATVEC = None
+
+__all__ = [
+    "JacobiResult",
+    "JacobiWorkspace",
+    "csr_matvec_into",
+    "jacobi_sweep",
+    "jacobi_solve",
+]
+
+
+def csr_matvec_into(p: sp.spmatrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out ← P @ x`` without allocating the SpMV result.
+
+    Uses scipy's raw CSR kernel (the same routine ``P @ x`` calls
+    internally, so results are bit-identical) on a zeroed ``out``.
+    Falls back to ``out[:] = P @ x`` for non-CSR operators or scipy
+    builds without the private kernel.  ``out`` must not alias ``x``.
+    """
+    if _CSR_MATVEC is not None and isinstance(p, sp.csr_matrix):
+        out[:] = 0.0
+        _CSR_MATVEC(
+            p.shape[0], p.shape[1], p.indptr, p.indices, p.data, x, out
+        )
+        return out
+    out[:] = p @ x
+    return out
+
+
+@dataclass
+class JacobiWorkspace:
+    """Reusable buffers making Jacobi sweeps/solves allocation-free.
+
+    Holds two ping-pong iterate buffers and one scratch vector for the
+    fused ``‖Δx‖₁`` reduction.  One workspace serves one problem size;
+    a node that lives for many outer loops allocates it once.
+
+    Buffers returned to callers (e.g. ``JacobiResult.x`` from a
+    workspace-backed solve) remain owned by the workspace: they are
+    valid until the workspace's next use, so copy them out if they
+    must survive (``DPRNode`` copies into its stable ``r`` array).
+    """
+
+    n: int
+    _ping: np.ndarray = field(init=False, repr=False)
+    _pong: np.ndarray = field(init=False, repr=False)
+    _scratch: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("workspace size must be >= 0")
+        self._ping = np.zeros(self.n, dtype=np.float64)
+        self._pong = np.zeros(self.n, dtype=np.float64)
+        self._scratch = np.zeros(self.n, dtype=np.float64)
+
+    def check_size(self, n: int) -> None:
+        """Raise if this workspace was sized for a different problem."""
+        if n != self.n:
+            raise ValueError(f"workspace sized for n={self.n}, problem has n={n}")
+
+    def sweep_delta(
+        self, p: sp.spmatrix, x: np.ndarray, f: np.ndarray, out: np.ndarray
+    ) -> float:
+        """Fused sweep + reduction: ``out ← Px + f``; returns ``‖out − x‖₁``.
+
+        All work happens in preallocated buffers; the delta reduction
+        reuses the workspace scratch vector, so the only arrays touched
+        are the ones already owned by the caller/workspace.
+        """
+        csr_matvec_into(p, x, out)
+        np.add(out, f, out=out)
+        sc = self._scratch
+        np.subtract(out, x, out=sc)
+        np.abs(sc, out=sc)
+        return float(sc.sum())
+
+
+def jacobi_sweep(
+    p: sp.spmatrix, x: np.ndarray, f: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """One sweep ``P @ x + f``.
+
+    ``out`` may be provided to reuse an output buffer, in which case
+    the sweep allocates nothing (the SpMV writes straight into
+    ``out``); ``out`` must not alias ``x``.
+    """
+    if out is None:
+        return p.dot(x) + f
+    csr_matvec_into(p, x, out)
+    np.add(out, f, out=out)
+    return out
 
 
 @dataclass
@@ -30,7 +141,8 @@ class JacobiResult:
     Attributes
     ----------
     x:
-        Final iterate.
+        Final iterate.  For a workspace-backed solve this is a
+        workspace buffer — valid until the workspace is next used.
     iterations:
         Number of sweeps performed (0 if ``x0`` already met ``tol``
         is impossible — we always perform at least one sweep).
@@ -50,21 +162,6 @@ class JacobiResult:
     deltas: List[float] = field(default_factory=list)
 
 
-def jacobi_sweep(
-    p: sp.spmatrix, x: np.ndarray, f: np.ndarray, out: Optional[np.ndarray] = None
-) -> np.ndarray:
-    """One sweep ``P @ x + f``.
-
-    ``out`` may be provided to reuse an output buffer; note that
-    ``out`` must not alias ``x``.
-    """
-    y = p.dot(x)
-    if out is None:
-        return y + f
-    np.add(y, f, out=out)
-    return out
-
-
 def jacobi_solve(
     p: sp.spmatrix,
     f: np.ndarray,
@@ -73,6 +170,7 @@ def jacobi_solve(
     tol: float = 1e-10,
     max_iter: int = 10_000,
     record_history: bool = False,
+    workspace: Optional[JacobiWorkspace] = None,
 ) -> JacobiResult:
     """Iterate ``x ← P x + f`` until ``‖Δx‖₁ ≤ tol``.
 
@@ -93,6 +191,12 @@ def jacobi_solve(
     record_history:
         Keep the per-sweep ``‖Δx‖₁`` series (used by convergence
         plots/tests).
+    workspace:
+        Optional :class:`JacobiWorkspace` sized for this problem; when
+        given, every sweep runs in the workspace's ping-pong buffers
+        with zero allocations, and the returned ``x`` **aliases a
+        workspace buffer** (copy it if it must outlive the next use).
+        Arithmetic is bit-identical to the workspace-free path.
     """
     f = np.asarray(f, dtype=np.float64)
     n = f.shape[0]
@@ -102,13 +206,43 @@ def jacobi_solve(
         raise ValueError("tol must be >= 0")
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
-    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
-    if x.shape != (n,):
-        raise ValueError(f"x0 shape {x.shape} incompatible with f of size {n}")
+    if x0 is not None and np.shape(x0) != (n,):
+        raise ValueError(f"x0 shape {np.shape(x0)} incompatible with f of size {n}")
 
     deltas: List[float] = []
     delta = np.inf
     iterations = 0
+
+    if workspace is not None:
+        workspace.check_size(n)
+        x = workspace._ping
+        y = workspace._pong
+        if x0 is None:
+            x[:] = 0.0
+        else:
+            np.copyto(x, np.asarray(x0, dtype=np.float64))
+        for iterations in range(1, max_iter + 1):
+            delta = workspace.sweep_delta(p, x, f, out=y)
+            x, y = y, x
+            if record_history:
+                deltas.append(delta)
+            if delta <= tol:
+                return JacobiResult(
+                    x=x,
+                    iterations=iterations,
+                    converged=True,
+                    final_delta=delta,
+                    deltas=deltas,
+                )
+        return JacobiResult(
+            x=x,
+            iterations=iterations,
+            converged=False,
+            final_delta=float(delta),
+            deltas=deltas,
+        )
+
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
     for iterations in range(1, max_iter + 1):
         x_new = jacobi_sweep(p, x, f)
         delta = l1_norm(x_new - x)

@@ -21,6 +21,22 @@ off-diagonal block per ordered group pair with at least one cut link
 (rank flowing between rankers, i.e. the payload of the transports of
 §4.4).  Diagonal blocks power ``GroupPageRank``; off-diagonal blocks
 compute the efferent vectors ``Y``.
+
+Stacked efferent operators
+--------------------------
+Computing ``Y`` one destination at a time means one SpMV *and* one
+output allocation per destination, preceded by a scan over every
+cross block to find this group's.  At build time we therefore
+vertically stack each source group's cross blocks (destinations in
+ascending order) into a single CSR ``efferent operator`` with a
+destination-offset table, and precompute the group-pair adjacency
+(``destinations_of``/``sources_of``).  :meth:`GroupBlocks.efferent`
+then runs **one** SpMV for all destinations and returns zero-copy
+views into the stacked output; :meth:`GroupBlocks.efferent_into`
+is the fully allocation-free variant for hot loops.  Row slices of
+the stacked operator are the rows of the original blocks, so results
+are bit-identical to the per-block products (asserted by the
+equivalence tests against :meth:`GroupBlocks.efferent_reference`).
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ import scipy.sparse as sp
 
 from repro.graph.partition import Partition
 from repro.graph.webgraph import WebGraph
+from repro.linalg.jacobi import csr_matvec_into
 from repro.utils.validation import check_fraction
 
 __all__ = ["propagation_matrix", "group_blocks", "GroupBlocks"]
@@ -80,6 +97,34 @@ class GroupBlocks:
     pages: List[np.ndarray]
     diag: List[sp.csr_matrix]
     cross: Dict[Tuple[int, int], sp.csr_matrix] = field(default_factory=dict)
+    #: Built once from ``cross`` in ``__post_init__`` (see module docs).
+    _dests: List[List[int]] = field(init=False, repr=False)
+    _srcs: List[List[int]] = field(init=False, repr=False)
+    _efferent_op: List[sp.csr_matrix] = field(init=False, repr=False)
+    _efferent_offsets: List[np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        k = self.n_groups
+        self._dests = [[] for _ in range(k)]
+        self._srcs = [[] for _ in range(k)]
+        for g, h in sorted(self.cross):
+            self._dests[g].append(h)
+            self._srcs[h].append(g)
+        self._efferent_op = []
+        self._efferent_offsets = []
+        for g in range(k):
+            dests = self._dests[g]
+            if dests:
+                stack = [self.cross[(g, h)] for h in dests]
+                op = sp.vstack(stack, format="csr")
+                offsets = np.concatenate(
+                    [[0], np.cumsum([b.shape[0] for b in stack])]
+                ).astype(np.int64)
+            else:
+                op = sp.csr_matrix((0, self.group_size(g)))
+                offsets = np.zeros(1, dtype=np.int64)
+            self._efferent_op.append(op)
+            self._efferent_offsets.append(offsets)
 
     @property
     def n_groups(self) -> int:
@@ -90,16 +135,30 @@ class GroupBlocks:
         return int(self.pages[g].size)
 
     def destinations_of(self, g: int) -> List[int]:
-        """Groups that receive rank from group ``g`` (sorted)."""
-        return sorted(h for (src, h) in self.cross if src == g)
+        """Groups that receive rank from group ``g`` (sorted).
+
+        Precomputed at build time; no scan over the cross dict.
+        """
+        return list(self._dests[g])
 
     def sources_of(self, h: int) -> List[int]:
-        """Groups that send rank to group ``h`` (sorted)."""
-        return sorted(g for (g, dst) in self.cross if dst == h)
+        """Groups that send rank to group ``h`` (sorted).
+
+        Precomputed at build time; no scan over the cross dict.
+        """
+        return list(self._srcs[h])
 
     def apply_local(self, g: int, r: np.ndarray) -> np.ndarray:
         """One in-group propagation: returns ``diag[g] @ r``."""
         return self.diag[g] @ r
+
+    def efferent_rows(self, g: int) -> int:
+        """Total output length of group ``g``'s stacked efferent operator."""
+        return int(self._efferent_op[g].shape[0])
+
+    def efferent_buffer(self, g: int) -> np.ndarray:
+        """Allocate an output buffer suitable for :meth:`efferent_into`."""
+        return np.zeros(self.efferent_rows(g), dtype=np.float64)
 
     def efferent(self, g: int, r: np.ndarray) -> Dict[int, np.ndarray]:
         """Efferent contributions ``Y`` of group ``g`` given its rank ``r``.
@@ -108,6 +167,43 @@ class GroupBlocks:
         destination group's local pages.  This is the paper's
         ``Y = B·R`` computed per destination, with the matrix entry
         corrected to ``α/d(u)`` (see DESIGN.md, "Known typo handled").
+
+        One SpMV over the stacked efferent operator serves every
+        destination; the returned vectors are views into a single
+        fresh output array (safe to hand to in-flight messages — the
+        array is not reused by later calls).
+        """
+        y = self._efferent_op[g] @ np.asarray(r, dtype=np.float64)
+        return self._slice_efferent(g, y)
+
+    def efferent_into(
+        self, g: int, r: np.ndarray, out: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Allocation-free :meth:`efferent`: one SpMV into ``out``.
+
+        ``out`` must have length :meth:`efferent_rows`; the returned
+        dict holds views into ``out``, valid until ``out`` is reused.
+        """
+        if out.shape != (self.efferent_rows(g),):
+            raise ValueError(
+                f"out has shape {out.shape}, want ({self.efferent_rows(g)},)"
+            )
+        csr_matvec_into(self._efferent_op[g], r, out)
+        return self._slice_efferent(g, out)
+
+    def _slice_efferent(self, g: int, y: np.ndarray) -> Dict[int, np.ndarray]:
+        offsets = self._efferent_offsets[g]
+        return {
+            h: y[offsets[i] : offsets[i + 1]]
+            for i, h in enumerate(self._dests[g])
+        }
+
+    def efferent_reference(self, g: int, r: np.ndarray) -> Dict[int, np.ndarray]:
+        """Naive per-destination efferent (the pre-stacking implementation).
+
+        Scans every cross block and runs one SpMV per destination.
+        Kept as the ground truth for the kernel-equivalence tests and
+        the before/after benchmarks.
         """
         out: Dict[int, np.ndarray] = {}
         for (src, h), block in self.cross.items():

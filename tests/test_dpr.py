@@ -86,6 +86,24 @@ class TestReceiveSemantics:
         with pytest.raises(ValueError):
             nodes[0].receive(ScoreUpdate(1, 0, np.zeros(1 + system.group_size(0)), 1, 1))
 
+    def test_receive_copies_values(self, contest_small):
+        """Regression: mutating the sent array after receive must not
+        corrupt node state (the seed stored the array by reference)."""
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        size = system.group_size(1)
+        buf = np.full(size, 2.0)
+        nodes[1].receive(ScoreUpdate(0, 1, buf, 1, generation=1))
+        buf[:] = 99.0  # sender reuses its buffer
+        np.testing.assert_array_equal(nodes[1].refresh_x(), np.full(size, 2.0))
+
+    def test_refresh_x_result_is_detached(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        size = system.group_size(1)
+        nodes[1].receive(ScoreUpdate(0, 1, np.ones(size), 1, generation=1))
+        x = nodes[1].refresh_x()
+        x[:] = -1.0  # caller scribbles on the result
+        np.testing.assert_array_equal(nodes[1].refresh_x(), np.ones(size))
+
 
 class TestStepSemantics:
     def test_dpr1_reaches_local_fixed_point(self, contest_small):
