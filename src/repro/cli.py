@@ -29,6 +29,48 @@ def _int_list(text: str) -> List[int]:
     return [int(x) for x in text.split(",") if x]
 
 
+def _probability(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"{value} is not in [0, 1]")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"{value} is not > 0")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    value = float(text)
+    if value < 0.0:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 0")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 0")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 1")
+    return value
+
+
+def _backoff_factor(text: str) -> float:
+    value = float(text)
+    if value < 1.0:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (see module docstring for usage)."""
     parser = argparse.ArgumentParser(
@@ -73,10 +115,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--transport", choices=["indirect", "direct"], default="indirect")
     p_run.add_argument("--t1", type=float, default=0.0)
     p_run.add_argument("--t2", type=float, default=6.0)
-    p_run.add_argument("--delivery-prob", type=float, default=1.0)
+    p_run.add_argument("--delivery-prob", type=_probability, default=1.0)
     p_run.add_argument("--target", type=float, default=1e-5,
                        help="target relative error")
     p_run.add_argument("--max-time", type=float, default=1000.0)
+
+    g_rel = p_run.add_argument_group(
+        "reliability", "ACK/retry transport layer (repro.net.reliable)"
+    )
+    g_rel.add_argument("--reliable", action="store_true",
+                       help="wrap the transport in ReliableTransport")
+    g_rel.add_argument("--retry-timeout", type=_positive_float, default=4.0,
+                       help="initial retransmission timeout")
+    g_rel.add_argument("--retry-backoff", type=_backoff_factor, default=2.0,
+                       help="timeout multiplier per retry (>= 1)")
+    g_rel.add_argument("--retry-jitter", type=_non_negative_float, default=0.0,
+                       help="uniform jitter added to each timeout")
+    g_rel.add_argument("--retry-max-timeout", type=_positive_float, default=60.0,
+                       help="timeout cap across retries")
+    g_rel.add_argument("--max-retries", type=_non_negative_int, default=8,
+                       help="retransmissions before giving up")
+
+    g_chaos = p_run.add_argument_group(
+        "chaos", "message-level adversaries (require --reliable)"
+    )
+    g_chaos.add_argument("--ack-loss-prob", type=_probability, default=0.0)
+    g_chaos.add_argument("--duplicate-prob", type=_probability, default=0.0)
+    g_chaos.add_argument("--reorder-prob", type=_probability, default=0.0)
+    g_chaos.add_argument("--reorder-max-delay", type=_non_negative_float,
+                         default=0.0)
+
+    g_churn = p_run.add_argument_group("churn", "node pause and crash injection")
+    g_churn.add_argument("--pause-faults", type=_non_negative_int, default=0,
+                         help="number of transient pause/resume faults")
+    g_churn.add_argument("--pause-horizon", type=_non_negative_float,
+                         default=20.0, help="window pauses start in")
+    g_churn.add_argument("--pause-mean-outage", type=_non_negative_float,
+                         default=5.0, help="mean pause duration")
+    g_churn.add_argument("--crash-prob", type=_probability, default=0.0,
+                         help="per-ranker permanent crash probability")
+    g_churn.add_argument("--crash-after", type=_non_negative_float, default=10.0,
+                         help="warmup before crashes may fire")
+    g_churn.add_argument("--crash-horizon", type=_non_negative_float,
+                         default=10.0, help="window crashes fire in")
+
+    g_rec = p_run.add_argument_group(
+        "recovery", "failure detection and checkpoint-based takeover"
+    )
+    g_rec.add_argument("--heartbeat-interval", type=_non_negative_float,
+                       default=0.0, help="failure-detector sweep period "
+                       "(0 disables)")
+    g_rec.add_argument("--heartbeat-miss", type=_positive_int, default=3,
+                       help="missed beats before a group is declared dead")
+    g_rec.add_argument("--checkpoint-interval", type=_non_negative_float,
+                       default=0.0, help="state snapshot period (0 disables)")
+    g_rec.add_argument("--recovery", action="store_true",
+                       help="take over detected-dead groups from checkpoints")
 
     p_sum = sub.add_parser("summary", help="describe a generated crawl")
     add_workload(p_sum)
@@ -136,20 +230,46 @@ def cmd_run(args) -> int:
     from repro.core import run_distributed_pagerank
 
     graph = _make_graph(args)
-    result = run_distributed_pagerank(
-        graph,
-        n_groups=args.groups,
-        algorithm=args.algorithm,
-        partition_strategy=args.partition,
-        overlay=args.overlay,
-        transport=args.transport,
-        t1=args.t1,
-        t2=args.t2,
-        delivery_prob=args.delivery_prob,
-        seed=args.seed,
-        target_relative_error=args.target,
-        max_time=args.max_time,
-    )
+    try:
+        result = run_distributed_pagerank(
+            graph,
+            n_groups=args.groups,
+            algorithm=args.algorithm,
+            partition_strategy=args.partition,
+            overlay=args.overlay,
+            transport=args.transport,
+            t1=args.t1,
+            t2=args.t2,
+            delivery_prob=args.delivery_prob,
+            seed=args.seed,
+            reliable=args.reliable,
+            retry_timeout=args.retry_timeout,
+            retry_backoff=args.retry_backoff,
+            retry_jitter=args.retry_jitter,
+            retry_max_timeout=args.retry_max_timeout,
+            max_retries=args.max_retries,
+            ack_loss_prob=args.ack_loss_prob,
+            duplicate_prob=args.duplicate_prob,
+            reorder_prob=args.reorder_prob,
+            reorder_max_delay=args.reorder_max_delay,
+            pause_faults=args.pause_faults,
+            pause_horizon=args.pause_horizon,
+            pause_mean_outage=args.pause_mean_outage,
+            crash_prob=args.crash_prob,
+            crash_after=args.crash_after,
+            crash_horizon=args.crash_horizon,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_miss_threshold=args.heartbeat_miss,
+            checkpoint_interval=args.checkpoint_interval,
+            recovery=args.recovery,
+            target_relative_error=args.target,
+            max_time=args.max_time,
+        )
+    except ValueError as exc:
+        # Cross-field config constraints (e.g. chaos without --reliable)
+        # surface as a usage error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = [
         ("converged", str(result.converged)),
         ("time to target", str(result.time_to_target)),
@@ -160,6 +280,22 @@ def cmd_run(args) -> int:
         ("bytes", result.traffic.total_bytes),
         ("updates dropped", result.dropped_updates),
     ]
+    if args.reliable:
+        rows += [
+            ("ack messages", result.traffic.ack_messages),
+            ("ack bytes", result.traffic.ack_bytes),
+            ("retransmits", result.retransmits),
+            ("sends abandoned", result.gave_up),
+            ("duplicates dropped", result.dup_drops),
+            ("acks lost", result.acks_lost),
+        ]
+    if args.crash_prob > 0 or args.heartbeat_interval > 0 or args.recovery:
+        rows += [
+            ("groups crashed", result.crashed_groups),
+            ("deaths detected", result.deaths_detected),
+            ("takeovers", result.takeovers),
+            ("checkpoints written", result.checkpoint_saves),
+        ]
     print(format_table(["metric", "value"], rows, title="distributed run"))
     return 0 if result.converged else 1
 

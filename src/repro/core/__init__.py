@@ -16,6 +16,9 @@ Layered as the paper presents it:
   and runs it to convergence, producing the traces behind Figs 6–8.
 * :mod:`~repro.core.convergence` — relative-error/monotonicity
   instrumentation (Theorems 4.1/4.2 checks).
+* :mod:`~repro.core.recovery` — checkpointing and heartbeat-triggered
+  takeover of permanently crashed rankers (§4.2's "shutdown" made
+  survivable).
 """
 
 from repro.core.pagerank import (

@@ -124,7 +124,10 @@ class Monitor:
             raise ValueError("quiescence_samples must be >= 1")
         self.sim = sim
         self.system = system
-        self.rankers = list(rankers)
+        # Deliberately NOT copied: the recovery layer swaps replacement
+        # rankers into the live list in place, and the monitor must
+        # sample the current occupant of each group, not a stale one.
+        self.rankers = rankers
         self.reference = np.asarray(reference, dtype=np.float64)
         self.interval = float(interval)
         self.accountant = accountant

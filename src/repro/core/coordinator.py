@@ -22,11 +22,20 @@ from repro.core.convergence import ConvergenceTrace, Monitor
 from repro.core.dpr import DPRNode
 from repro.core.open_system import GroupSystem
 from repro.core.ranker import PageRanker
+from repro.core.recovery import Checkpointer, CheckpointStore, RecoveryManager
 from repro.graph.partition import Partition, make_partition
 from repro.graph.webgraph import WebGraph
 from repro.net.bandwidth import TrafficAccountant, TrafficSnapshot
-from repro.net.failures import BernoulliLoss, NodePauseInjector, NoLoss
+from repro.net.failures import (
+    BernoulliLoss,
+    ChaosModel,
+    NodeCrashInjector,
+    NodePauseInjector,
+    NoLoss,
+)
+from repro.net.heartbeat import HeartbeatMonitor
 from repro.net.latency import FixedLatency
+from repro.net.reliable import ReliableTransport, RetryPolicy
 from repro.net.simulator import Simulator
 from repro.net.transport import build_transport
 from repro.overlay import build_overlay
@@ -75,6 +84,45 @@ class DistributedConfig:
     #: stragglers / heterogeneous hardware.
     mean_waits: Optional[Sequence[float]] = None
 
+    # -- reliability layer (ACK/retry; see repro.net.reliable) ---------
+    #: Wrap the transport in ReliableTransport (seq numbers, ACKs,
+    #: timeout-driven retransmission, idempotent receive-side dedup).
+    reliable: bool = False
+    retry_timeout: float = 4.0
+    retry_backoff: float = 2.0
+    retry_jitter: float = 0.0
+    retry_max_timeout: float = 60.0
+    max_retries: int = 8
+
+    # -- message chaos (requires ``reliable``; repro.net.failures) -----
+    ack_loss_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_max_delay: float = 0.0
+
+    # -- node churn ----------------------------------------------------
+    #: Transient pause/resume churn (§4.2 "sleep/suspend"): number of
+    #: injected faults, the window they start in, and the mean outage.
+    pause_faults: int = 0
+    pause_horizon: float = 20.0
+    pause_mean_outage: float = 5.0
+    #: Permanent crashes (§4.2 "even shutdown"): per-ranker crash
+    #: probability, applied in the window [crash_after, crash_after +
+    #: crash_horizon].
+    crash_prob: float = 0.0
+    crash_after: float = 10.0
+    crash_horizon: float = 10.0
+
+    # -- failure detection & recovery ----------------------------------
+    #: Heartbeat sweep period (0 disables detection).
+    heartbeat_interval: float = 0.0
+    heartbeat_miss_threshold: int = 3
+    #: Periodic DPRNode.state_dict snapshot period (0 disables).
+    checkpoint_interval: float = 0.0
+    #: Checkpoint-based takeover of detected-dead groups (requires
+    #: ``heartbeat_interval > 0``).
+    recovery: bool = False
+
     def __post_init__(self) -> None:
         if self.n_groups < 1:
             raise ValueError("n_groups must be >= 1")
@@ -98,6 +146,45 @@ class DistributedConfig:
                 )
             if any(w < 0 for w in self.mean_waits):
                 raise ValueError("mean_waits must be non-negative")
+        # Reliability / fault-tolerance knobs.
+        check_non_negative(self.retry_timeout, "retry_timeout")
+        if self.retry_timeout <= 0:
+            raise ValueError("retry_timeout must be > 0")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        check_non_negative(self.retry_jitter, "retry_jitter")
+        if self.retry_max_timeout < self.retry_timeout:
+            raise ValueError("retry_max_timeout must be >= retry_timeout")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        check_probability(self.ack_loss_prob, "ack_loss_prob")
+        check_probability(self.duplicate_prob, "duplicate_prob")
+        check_probability(self.reorder_prob, "reorder_prob")
+        check_non_negative(self.reorder_max_delay, "reorder_max_delay")
+        if not self.reliable and (
+            self.ack_loss_prob > 0
+            or self.duplicate_prob > 0
+            or self.reorder_prob > 0
+        ):
+            raise ValueError(
+                "ack_loss_prob/duplicate_prob/reorder_prob model the "
+                "reliability layer's adversaries and require reliable=True"
+            )
+        if self.pause_faults < 0:
+            raise ValueError("pause_faults must be >= 0")
+        check_non_negative(self.pause_horizon, "pause_horizon")
+        check_non_negative(self.pause_mean_outage, "pause_mean_outage")
+        check_probability(self.crash_prob, "crash_prob")
+        check_non_negative(self.crash_after, "crash_after")
+        check_non_negative(self.crash_horizon, "crash_horizon")
+        check_non_negative(self.heartbeat_interval, "heartbeat_interval")
+        if self.heartbeat_miss_threshold < 1:
+            raise ValueError("heartbeat_miss_threshold must be >= 1")
+        check_non_negative(self.checkpoint_interval, "checkpoint_interval")
+        if self.recovery and self.heartbeat_interval <= 0:
+            raise ValueError(
+                "recovery requires failure detection: set heartbeat_interval > 0"
+            )
 
 
 @dataclass
@@ -125,6 +212,15 @@ class RunResult:
     quiescent, quiescence_time:
         Whether/when reference-free termination detection fired (only
         meaningful when the run was started with ``quiescence_delta``).
+    retransmits, gave_up, dup_drops, dead_drops, acks_lost:
+        Reliability-layer counters (zero when ``reliable`` is off):
+        timeout-driven retransmissions, sends abandoned after the
+        retry budget, receive-side duplicate suppressions, deliveries
+        swallowed by dead groups, and chaos-destroyed ACKs.
+    crashed_groups, deaths_detected, takeovers, checkpoint_saves:
+        Fault/recovery counters: permanent crashes injected, heartbeat
+        death declarations, checkpoint-restored takeovers performed,
+        and checkpoints written.
     """
 
     ranks: np.ndarray
@@ -138,6 +234,15 @@ class RunResult:
     dropped_updates: int
     quiescent: bool = False
     quiescence_time: Optional[float] = None
+    retransmits: int = 0
+    gave_up: int = 0
+    dup_drops: int = 0
+    dead_drops: int = 0
+    acks_lost: int = 0
+    crashed_groups: int = 0
+    deaths_detected: int = 0
+    takeovers: int = 0
+    checkpoint_saves: int = 0
     config: DistributedConfig = field(repr=False, default=None)  # type: ignore[assignment]
 
     @property
@@ -217,39 +322,123 @@ class DistributedRun:
             latency=FixedLatency(config.hop_delay),
             **transport_kwargs,
         )
+        self.reliable: Optional[ReliableTransport] = None
+        if config.reliable:
+            chaos = ChaosModel(
+                duplicate_prob=config.duplicate_prob,
+                reorder_prob=config.reorder_prob,
+                reorder_max_delay=config.reorder_max_delay,
+                ack_loss_prob=config.ack_loss_prob,
+                seed=seeds.generator("chaos"),
+            )
+            self.reliable = ReliableTransport(
+                self.transport,
+                retry=RetryPolicy(
+                    timeout=config.retry_timeout,
+                    backoff=config.retry_backoff,
+                    jitter=config.retry_jitter,
+                    max_timeout=config.retry_max_timeout,
+                    max_retries=config.max_retries,
+                ),
+                chaos=chaos,
+                alive=lambda g: not self.rankers[g].crashed,
+                seed=seeds.generator("retry-jitter"),
+            )
+            # Rankers (and everything else) speak to the wrapper.
+            self.transport = self.reliable
 
         wait_rng = seeds.generator("wait-means")
+        self._seeds = seeds
+        self._mean_waits: List[float] = []
         self.rankers: List[PageRanker] = []
         for g in range(config.n_groups):
-            node = DPRNode(
-                g,
-                self.system.diag(g),
-                self.system.beta_e[g],
-                mode=config.algorithm,
-                local_tol=config.local_tol,
-                max_inner=config.max_inner,
-                inner_solver=config.inner_solver,
-                x_mode=config.x_mode,
-            )
             mean_wait = (
                 float(config.mean_waits[g])
                 if config.mean_waits is not None
                 else float(wait_rng.uniform(config.t1, config.t2))
             )
-            ranker = PageRanker(
-                self.sim,
-                node,
-                self.system,
-                self.transport,
-                mean_wait=mean_wait,
-                seed=seeds.generator(f"wait/{g}"),
-                suppress_tol=config.suppress_tol,
-            )
-            self.rankers.append(ranker)
+            self._mean_waits.append(mean_wait)
+            self.rankers.append(self._make_ranker(g, seeds.generator(f"wait/{g}")))
         self.transport.attach(self._deliver)
         self.monitor: Optional[Monitor] = None
 
+        # -- fault injection ------------------------------------------
+        self.pause_injector: Optional[NodePauseInjector] = None
+        if config.pause_faults > 0:
+            self.pause_injector = NodePauseInjector(
+                n_faults=config.pause_faults,
+                horizon=config.pause_horizon,
+                mean_outage=config.pause_mean_outage,
+                seed=seeds.generator("pause-injector"),
+            )
+            self.pause_injector.install(self.sim, self.rankers)
+        self.crash_injector: Optional[NodeCrashInjector] = None
+        if config.crash_prob > 0.0:
+            self.crash_injector = NodeCrashInjector(
+                crash_prob=config.crash_prob,
+                after=config.crash_after,
+                horizon=config.crash_horizon,
+                seed=seeds.generator("crash-injector"),
+            )
+            self.crash_injector.install(self.sim, self.rankers)
+
+        # -- failure detection, checkpointing, takeover ---------------
+        self.heartbeat: Optional[HeartbeatMonitor] = None
+        if config.heartbeat_interval > 0.0:
+            self.heartbeat = HeartbeatMonitor(
+                self.sim,
+                self.rankers,
+                interval=config.heartbeat_interval,
+                miss_threshold=config.heartbeat_miss_threshold,
+            )
+        self.checkpoint_store = CheckpointStore()
+        self.checkpointer: Optional[Checkpointer] = None
+        if config.checkpoint_interval > 0.0:
+            self.checkpointer = Checkpointer(
+                self.sim,
+                self.rankers,
+                self.checkpoint_store,
+                interval=config.checkpoint_interval,
+            )
+        self.recovery: Optional[RecoveryManager] = None
+        if config.recovery:
+            self.recovery = RecoveryManager(
+                self.sim,
+                self.rankers,
+                self.checkpoint_store,
+                self._make_replacement,
+            )
+            assert self.heartbeat is not None  # enforced by the config
+            self.heartbeat.add_death_callback(self.recovery.on_death)
+
     # ------------------------------------------------------------------
+    def _make_ranker(self, g: int, seed) -> PageRanker:
+        cfg = self.config
+        node = DPRNode(
+            g,
+            self.system.diag(g),
+            self.system.beta_e[g],
+            mode=cfg.algorithm,
+            local_tol=cfg.local_tol,
+            max_inner=cfg.max_inner,
+            inner_solver=cfg.inner_solver,
+            x_mode=cfg.x_mode,
+        )
+        return PageRanker(
+            self.sim,
+            node,
+            self.system,
+            self.transport,
+            mean_wait=self._mean_waits[g],
+            seed=seed,
+            suppress_tol=cfg.suppress_tol,
+        )
+
+    def _make_replacement(self, g: int, epoch: int) -> PageRanker:
+        """Recovery factory: a blank ranker for group ``g`` with a
+        private deterministic stream per takeover epoch."""
+        return self._make_ranker(g, self._seeds.generator(f"recovery/{g}/{epoch}"))
+
     def _deliver(self, dst_group: int, update) -> None:
         self.rankers[dst_group].receive(update)
 
@@ -287,6 +476,10 @@ class DistributedRun:
         self.monitor.start()
         for ranker in self.rankers:
             ranker.start()
+        if self.heartbeat is not None:
+            self.heartbeat.start()
+        if self.checkpointer is not None:
+            self.checkpointer.start()
         monitor = self.monitor
         stop = None
         if target_relative_error is not None or quiescence_delta is not None:
@@ -294,7 +487,12 @@ class DistributedRun:
                 return monitor.reached_target or monitor.reached_quiescence
         self.sim.run(until=max_time, stop_condition=stop)
         self.monitor.stop()
+        if self.heartbeat is not None:
+            self.heartbeat.stop()
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
 
+        rel = self.reliable
         ranks = self.monitor.current_ranks()
         return RunResult(
             ranks=ranks,
@@ -312,6 +510,25 @@ class DistributedRun:
             dropped_updates=self.transport.dropped_updates,
             quiescent=self.monitor.reached_quiescence,
             quiescence_time=self.monitor.quiescence_time,
+            retransmits=rel.retransmits if rel is not None else 0,
+            gave_up=rel.gave_up if rel is not None else 0,
+            dup_drops=rel.dup_drops if rel is not None else 0,
+            dead_drops=rel.dead_drops if rel is not None else 0,
+            acks_lost=rel.acks_lost if rel is not None else 0,
+            # Recovered groups hold a live replacement, so count fired
+            # injector crashes rather than currently-crashed slots.
+            crashed_groups=(
+                sum(1 for (_, t) in self.crash_injector.injected if t <= self.sim.now)
+                if self.crash_injector is not None
+                else sum(1 for rk in self.rankers if rk.crashed)
+            ),
+            deaths_detected=(
+                self.heartbeat.deaths_detected if self.heartbeat is not None else 0
+            ),
+            takeovers=(
+                self.recovery.takeover_count if self.recovery is not None else 0
+            ),
+            checkpoint_saves=self.checkpoint_store.saves,
             config=cfg,
         )
 

@@ -75,6 +75,11 @@ class PageRanker:
         self.suppress_tol = check_non_negative(suppress_tol, "suppress_tol")
         self._rng = as_generator(seed)
         self.paused = False
+        #: Permanent failure (§4.2's "shutdown"): a crashed ranker's
+        #: wake chain dies, its inbox goes dark, and it never comes
+        #: back — recovery happens by *replacement*, not resumption
+        #: (see repro.core.recovery).
+        self.crashed = False
         self.started = False
         #: Last efferent vector sent per destination (delta suppression).
         self._last_sent: Dict[int, np.ndarray] = {}
@@ -82,6 +87,8 @@ class PageRanker:
         self.suppressed_sends = 0
         #: Loop steps skipped while paused.
         self.skipped_wakes = 0
+        #: Updates that arrived after this ranker crashed (dropped).
+        self.dropped_while_crashed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +110,9 @@ class PageRanker:
 
     def receive(self, update: ScoreUpdate) -> None:
         """Transport upcall: stash an afferent update for the next refresh."""
+        if self.crashed:
+            self.dropped_while_crashed += 1
+            return
         self.node.receive(update)
 
     # ------------------------------------------------------------------
@@ -110,6 +120,9 @@ class PageRanker:
         return float(self._rng.exponential(self.mean_wait))
 
     def _on_wake(self) -> None:
+        if self.crashed:
+            # Permanent: do not reschedule — the wake chain ends here.
+            return
         if self.paused:
             # A paused ranker does nothing this round — not even send —
             # but keeps its timer alive so it resumes naturally.

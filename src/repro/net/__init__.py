@@ -17,16 +17,37 @@ This package provides that simulator:
 * :mod:`~repro.net.bandwidth` — message/byte accounting used to verify
   formulas 4.1–4.4.
 * :mod:`~repro.net.failures` — Bernoulli message loss (the paper's
-  ``p``) and node pause/resume churn.
+  ``p``), node pause/resume churn, permanent crash injection, and
+  the chaos model (duplication / reordering / ACK loss).
+* :mod:`~repro.net.reliable` — ACK/retry/dedup reliability layer over
+  either transport (at-least-once delivery, idempotent receive).
+* :mod:`~repro.net.heartbeat` — heartbeat-based failure detection
+  feeding the recovery layer.
 * :mod:`~repro.net.latency` — fixed/uniform per-hop latency models.
 """
 
 from repro.net.simulator import Simulator, EventHandle
-from repro.net.message import ScoreUpdate, Package, LookupCost, LINK_RECORD_BYTES, LOOKUP_MESSAGE_BYTES
+from repro.net.message import (
+    ScoreUpdate,
+    Ack,
+    Package,
+    LookupCost,
+    LINK_RECORD_BYTES,
+    LOOKUP_MESSAGE_BYTES,
+    ACK_MESSAGE_BYTES,
+)
 from repro.net.bandwidth import TrafficAccountant, TrafficSnapshot
-from repro.net.failures import BernoulliLoss, NoLoss, NodePauseInjector
+from repro.net.failures import (
+    BernoulliLoss,
+    ChaosModel,
+    NoLoss,
+    NodeCrashInjector,
+    NodePauseInjector,
+)
+from repro.net.heartbeat import HeartbeatMonitor
 from repro.net.latency import FixedLatency, UniformLatency, LatencyModel
 from repro.net.transport import Transport, DirectTransport, IndirectTransport, build_transport
+from repro.net.reliable import ReliableTransport, RetryPolicy
 from repro.net.gossip import PushSumProtocol
 from repro.net.tracing import MessageRecord, MessageTrace, install_tracing
 
@@ -34,15 +55,20 @@ __all__ = [
     "Simulator",
     "EventHandle",
     "ScoreUpdate",
+    "Ack",
     "Package",
     "LookupCost",
     "LINK_RECORD_BYTES",
     "LOOKUP_MESSAGE_BYTES",
+    "ACK_MESSAGE_BYTES",
     "TrafficAccountant",
     "TrafficSnapshot",
     "BernoulliLoss",
+    "ChaosModel",
     "NoLoss",
+    "NodeCrashInjector",
     "NodePauseInjector",
+    "HeartbeatMonitor",
     "FixedLatency",
     "UniformLatency",
     "LatencyModel",
@@ -50,6 +76,8 @@ __all__ = [
     "DirectTransport",
     "IndirectTransport",
     "build_transport",
+    "ReliableTransport",
+    "RetryPolicy",
     "PushSumProtocol",
     "MessageRecord",
     "MessageTrace",

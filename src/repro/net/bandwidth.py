@@ -24,13 +24,22 @@ __all__ = ["TrafficAccountant", "TrafficSnapshot"]
 
 @dataclass
 class TrafficSnapshot:
-    """Immutable copy of the counters at one instant."""
+    """Immutable copy of the counters at one instant.
+
+    ``ack_*`` counters track the reliability layer's acknowledgement
+    traffic.  They are reported separately and deliberately excluded
+    from :attr:`total_messages`/:attr:`total_bytes`, which remain the
+    paper's data + lookup quantities (formulas 4.1–4.4) so fault-free
+    runs over the reliable transport stay comparable to plain runs.
+    """
 
     time: float
     data_messages: int
     data_bytes: int
     lookup_messages: int
     lookup_bytes: int
+    ack_messages: int = 0
+    ack_bytes: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -48,6 +57,8 @@ class TrafficSnapshot:
             data_bytes=self.data_bytes - earlier.data_bytes,
             lookup_messages=self.lookup_messages - earlier.lookup_messages,
             lookup_bytes=self.lookup_bytes - earlier.lookup_bytes,
+            ack_messages=self.ack_messages - earlier.ack_messages,
+            ack_bytes=self.ack_bytes - earlier.ack_bytes,
         )
 
 
@@ -62,6 +73,8 @@ class TrafficAccountant:
         self.data_bytes = 0
         self.lookup_messages = 0
         self.lookup_bytes = 0
+        self.ack_messages = 0
+        self.ack_bytes = 0
         self.bytes_out = np.zeros(n_nodes, dtype=np.int64)
         self.bytes_in = np.zeros(n_nodes, dtype=np.int64)
 
@@ -86,6 +99,18 @@ class TrafficAccountant:
         self.lookup_bytes += total
         self.bytes_out[src] += total
 
+    def record_ack(self, src: int, dst: int, n_bytes: int) -> None:
+        """One reliability-layer acknowledgement from ``src`` to ``dst``.
+
+        ACK traffic is counted apart from data/lookup (it is not part of
+        the paper's byte model) but still charged to the per-node
+        ingress/egress aggregates — a real access link carries it.
+        """
+        self.ack_messages += 1
+        self.ack_bytes += int(n_bytes)
+        self.bytes_out[src] += n_bytes
+        self.bytes_in[dst] += n_bytes
+
     # ------------------------------------------------------------------
     def snapshot(self, time: float) -> TrafficSnapshot:
         """Copy the counters, stamped with the simulated time."""
@@ -95,6 +120,8 @@ class TrafficAccountant:
             data_bytes=self.data_bytes,
             lookup_messages=self.lookup_messages,
             lookup_bytes=self.lookup_bytes,
+            ack_messages=self.ack_messages,
+            ack_bytes=self.ack_bytes,
         )
 
     def node_bandwidth_peak(self) -> Dict[str, float]:

@@ -1,6 +1,6 @@
 """Failure injection.
 
-Two failure modes from the paper:
+Failure modes, from the paper and beyond:
 
 * **Message loss** — "vector Y may fail to be sent to other groups
   with a probability p" (§5).  The experiment labels make clear that
@@ -10,11 +10,23 @@ Two failure modes from the paper:
 * **Node churn** — rankers may "sleep for some time, suspend … or even
   shutdown" (§4.2).  :class:`NodePauseInjector` schedules random pause
   windows during which a ranker skips its work loop entirely.
+* **Permanent crashes** — the "even shutdown" end of §4.2 taken
+  literally: :class:`NodeCrashInjector` kills rankers for good.  A
+  crashed ranker stops computing, sending, and acknowledging; without
+  the recovery layer (:mod:`repro.core.recovery`) its page group
+  freezes forever, which is exactly the failure the checkpoint-based
+  takeover exists to survive.
+* **Message chaos** — :class:`ChaosModel` bundles the reliability
+  layer's adversaries: duplication (the same sequenced update put on
+  the wire twice), reordering (random extra delay before an update is
+  handed to the underlying transport), and ACK loss (the paper's ``p``
+  applied to the reverse path).  All three are no-ops at their default
+  probabilities so a fault-free run draws no randomness from them.
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol, TYPE_CHECKING
+from typing import List, Optional, Protocol, TYPE_CHECKING
 
 from repro.utils.rng import as_generator, RngLike
 from repro.utils.validation import check_non_negative, check_probability
@@ -22,7 +34,14 @@ from repro.utils.validation import check_non_negative, check_probability
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.simulator import Simulator
 
-__all__ = ["LossModel", "NoLoss", "BernoulliLoss", "NodePauseInjector"]
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "NodePauseInjector",
+    "NodeCrashInjector",
+    "ChaosModel",
+]
 
 
 class LossModel(Protocol):
@@ -104,3 +123,131 @@ class NodePauseInjector:
     @staticmethod
     def _set_paused(ranker, value: bool) -> None:
         ranker.paused = value
+
+
+class NodeCrashInjector:
+    """Permanently crashes a random subset of rankers.
+
+    Each ranker independently crashes with probability ``crash_prob``;
+    a doomed ranker's crash time is drawn uniformly from
+    ``[after, after + horizon]`` (``after`` is the post-warmup guard:
+    crashing before any useful state exists is a different, less
+    interesting experiment).  Crashing sets ``ranker.crashed = True``
+    — the ranker's wake loop dies, its inbox goes dark, and it never
+    ACKs again, so only a failure detector + takeover can save its
+    page group.
+
+    The injector crashes *by index through the live list*, so a group
+    that was already recovered onto a replacement ranker by the time
+    its crash fires kills the replacement (churn on churn), which the
+    recovery layer must also survive.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_prob: float,
+        after: float = 0.0,
+        horizon: float = 10.0,
+        max_crashes: Optional[int] = None,
+        seed: RngLike = 0,
+    ):
+        self.crash_prob = check_probability(crash_prob, "crash_prob")
+        self.after = check_non_negative(after, "after")
+        self.horizon = check_non_negative(horizon, "horizon")
+        self.max_crashes = None if max_crashes is None else int(max_crashes)
+        if self.max_crashes is not None and self.max_crashes < 0:
+            raise ValueError("max_crashes must be >= 0")
+        self._rng = as_generator(seed)
+        #: (group index, crash time) per scheduled crash.
+        self.injected: List[tuple] = []
+
+    def install(self, sim: "Simulator", rankers: List) -> None:
+        """Draw the doomed set and schedule the crash events.
+
+        ``rankers`` must be the *live* list (the recovery layer swaps
+        replacements into it); entries must expose a writable
+        ``crashed`` attribute.
+        """
+        for g in range(len(rankers)):
+            if self._rng.random() >= self.crash_prob:
+                continue
+            if self.max_crashes is not None and len(self.injected) >= self.max_crashes:
+                break
+            when = self.after + float(self._rng.random() * self.horizon)
+            sim.schedule_at(when, self._crash, rankers, g)
+            self.injected.append((g, when))
+
+    @staticmethod
+    def _crash(rankers: List, g: int) -> None:
+        rankers[g].crashed = True
+
+
+class ChaosModel:
+    """Adversarial message behaviour for the reliability layer.
+
+    Parameters
+    ----------
+    duplicate_prob:
+        Probability a sequenced transmission is put on the wire twice
+        (same seq — the receiver must suppress the copy).
+    reorder_prob, reorder_max_delay:
+        With probability ``reorder_prob`` a transmission is held back
+        by a uniform extra delay in ``(0, reorder_max_delay]`` before
+        reaching the underlying transport, letting later sends overtake
+        it.
+    ack_loss_prob:
+        Probability an acknowledgement vanishes in transit (the data
+        arrived; the sender retransmits anyway — the duplicate must be
+        dropped and re-ACKed at the receiver).
+    seed:
+        Private deterministic stream; the model draws nothing when all
+        probabilities are zero, so enabling the reliable transport with
+        default chaos perturbs no other random stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        duplicate_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        reorder_max_delay: float = 0.0,
+        ack_loss_prob: float = 0.0,
+        seed: RngLike = 0,
+    ):
+        self.duplicate_prob = check_probability(duplicate_prob, "duplicate_prob")
+        self.reorder_prob = check_probability(reorder_prob, "reorder_prob")
+        self.reorder_max_delay = check_non_negative(
+            reorder_max_delay, "reorder_max_delay"
+        )
+        self.ack_loss_prob = check_probability(ack_loss_prob, "ack_loss_prob")
+        self._rng = as_generator(seed)
+
+    @property
+    def active(self) -> bool:
+        """True when any adversary can fire."""
+        return (
+            self.duplicate_prob > 0.0
+            or self.reorder_prob > 0.0
+            or self.ack_loss_prob > 0.0
+        )
+
+    def duplicate(self) -> bool:
+        """Should this transmission be sent twice?"""
+        if self.duplicate_prob <= 0.0:
+            return False
+        return bool(self._rng.random() < self.duplicate_prob)
+
+    def reorder_delay(self) -> float:
+        """Extra send-side delay for this transmission (0 = in order)."""
+        if self.reorder_prob <= 0.0 or self.reorder_max_delay <= 0.0:
+            return 0.0
+        if self._rng.random() >= self.reorder_prob:
+            return 0.0
+        return float(self._rng.random() * self.reorder_max_delay)
+
+    def ack_lost(self) -> bool:
+        """Does this acknowledgement vanish in transit?"""
+        if self.ack_loss_prob <= 0.0:
+            return False
+        return bool(self._rng.random() < self.ack_loss_prob)

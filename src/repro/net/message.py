@@ -26,7 +26,9 @@ __all__ = [
     "LINK_RECORD_BYTES",
     "LOOKUP_MESSAGE_BYTES",
     "PACKAGE_HEADER_BYTES",
+    "ACK_MESSAGE_BYTES",
     "ScoreUpdate",
+    "Ack",
     "Package",
     "LookupCost",
 ]
@@ -39,6 +41,11 @@ LOOKUP_MESSAGE_BYTES = 50
 
 #: Fixed framing overhead charged once per physical package.
 PACKAGE_HEADER_BYTES = 20
+
+#: One acknowledgement: (src, dst, seq) triple plus framing.  ACKs are
+#: a reliability-layer extension (not in the paper's byte model), so
+#: they are accounted separately from data/lookup traffic.
+ACK_MESSAGE_BYTES = 20
 
 
 @dataclass
@@ -67,6 +74,12 @@ class ScoreUpdate:
     hops_taken:
         Physical hops traversed so far (maintained by the indirect
         transport; its TTL guard drops updates that exceed the limit).
+    seq:
+        Per-(src, dst) transport sequence number stamped by
+        :class:`~repro.net.reliable.ReliableTransport` (-1 when the
+        update travels over a plain transport).  Receivers use it for
+        idempotent duplicate suppression; retransmissions reuse the
+        original seq.
     """
 
     src_group: int
@@ -76,6 +89,7 @@ class ScoreUpdate:
     generation: int
     sent_at: float = 0.0
     hops_taken: int = 0
+    seq: int = -1
 
     @property
     def payload_bytes(self) -> int:
@@ -109,6 +123,26 @@ class Package:
 
     def __len__(self) -> int:
         return len(self.updates)
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Receiver-side acknowledgement of one sequenced score update.
+
+    Flows from ``dst_group`` back to ``src_group`` over the reliability
+    layer; receipt clears the sender's pending-retransmission entry for
+    ``seq``.  Duplicated deliveries are re-ACKed (the first ACK may have
+    been lost), which keeps the protocol at-least-once on the data path
+    and idempotent at the receiver.
+    """
+
+    src_group: int  # original data sender (the ACK's destination)
+    dst_group: int  # original data receiver (the ACK's origin)
+    seq: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return ACK_MESSAGE_BYTES
 
 
 @dataclass

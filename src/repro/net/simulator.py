@@ -130,7 +130,9 @@ class Simulator:
         ----------
         until:
             Stop once the next event would execute after this time
-            (``now`` is advanced to ``until`` in that case).
+            (``now`` is advanced to ``until`` in that case, including
+            when the queue drains — by running dry or by callbacks
+            cancelling everything left — before reaching it).
         max_events:
             Hard cap on events executed by *this* call.
         stop_condition:
@@ -139,8 +141,15 @@ class Simulator:
         """
         executed = 0
         while True:
+            # A callback may have cancelled events mid-drain; drop them
+            # *before* looking at the head, and only then decide whether
+            # the next live event is beyond ``until``.  Comparing against
+            # a stale (possibly cancelled) head would stop the run on an
+            # event that was never going to execute.
             self._drop_cancelled()
             if not self._heap:
+                if until is not None and self.now < until:
+                    self.now = float(until)
                 break
             if until is not None and self._heap[0].time > until:
                 self.now = float(until)

@@ -30,7 +30,7 @@ class MessageRecord:
     """One traced physical message."""
 
     time: float
-    kind: str  # "data" | "lookup"
+    kind: str  # "data" | "lookup" | "ack"
     src: int
     dst: int  # -1 for lookups (resolution path, not a point message)
     n_bytes: int
@@ -111,6 +111,7 @@ def install_tracing(
     """
     orig_data = accountant.record_data_message
     orig_lookup = accountant.record_lookup
+    orig_ack = accountant.record_ack
 
     def record_data(src: int, dst: int, n_bytes: int) -> None:
         orig_data(src, dst, n_bytes)
@@ -122,11 +123,17 @@ def install_tracing(
             MessageRecord(sim.now, "lookup", src, -1, int(hops) * int(bytes_per_hop))
         )
 
+    def record_ack(src: int, dst: int, n_bytes: int) -> None:
+        orig_ack(src, dst, n_bytes)
+        trace.add(MessageRecord(sim.now, "ack", src, dst, int(n_bytes)))
+
     accountant.record_data_message = record_data  # type: ignore[method-assign]
     accountant.record_lookup = record_lookup  # type: ignore[method-assign]
+    accountant.record_ack = record_ack  # type: ignore[method-assign]
 
     def uninstall() -> None:
         accountant.record_data_message = orig_data  # type: ignore[method-assign]
         accountant.record_lookup = orig_lookup  # type: ignore[method-assign]
+        accountant.record_ack = orig_ack  # type: ignore[method-assign]
 
     return uninstall

@@ -24,6 +24,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "dpr3"])
 
+    def test_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.reliable is False
+        assert args.retry_timeout == 4.0
+        assert args.max_retries == 8
+        assert args.crash_prob == 0.0
+        assert args.heartbeat_interval == 0.0
+        assert args.recovery is False
+        assert args.pause_faults == 0
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--delivery-prob", "1.5"],
+            ["--crash-prob", "-0.1"],
+            ["--ack-loss-prob", "2"],
+            ["--duplicate-prob", "-1"],
+            ["--reorder-prob", "1.01"],
+            ["--retry-timeout", "0"],
+            ["--retry-backoff", "0.5"],
+            ["--retry-jitter", "-1"],
+            ["--retry-max-timeout", "-5"],
+            ["--max-retries", "-1"],
+            ["--heartbeat-interval", "-2"],
+            ["--heartbeat-miss", "0"],
+            ["--checkpoint-interval", "-1"],
+            ["--pause-faults", "-3"],
+            ["--pause-mean-outage", "-1"],
+            ["--crash-after", "-1"],
+            ["--crash-horizon", "-1"],
+            ["--reorder-max-delay", "-0.5"],
+        ],
+    )
+    def test_out_of_range_values_rejected(self, flags):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", *flags])
+
 
 class TestCommands:
     def test_summary(self, capsys):
@@ -92,6 +129,65 @@ class TestCommands:
         assert rc == 0
         assert "Reproduction report" in out
         assert (tmp_path / "partitioning.txt").exists()
+
+    def test_run_reliable_reports_counters(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--pages", "400",
+                "--sites", "10",
+                "--groups", "4",
+                "--max-time", "300",
+                "--target", "1e-4",
+                "--reliable",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "retransmits" in out
+        assert "ack messages" in out
+
+    def test_run_recovery_reports_counters(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--pages", "400",
+                "--sites", "10",
+                "--groups", "4",
+                "--max-time", "100",
+                "--target", "1e-4",
+                "--reliable",
+                "--crash-prob", "0.2",
+                "--heartbeat-interval", "2.0",
+                "--checkpoint-interval", "5.0",
+                "--recovery",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "takeovers" in out
+        assert "groups crashed" in out
+        assert rc in (0, 1)  # crash draw may or may not block convergence
+
+    def test_run_chaos_without_reliable_is_usage_error(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--pages", "400",
+                "--sites", "10",
+                "--duplicate-prob", "0.5",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "reliable" in err
+
+    def test_run_recovery_without_heartbeat_is_usage_error(self, capsys):
+        rc = main(
+            ["run", "--pages", "400", "--sites", "10", "--recovery"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "heartbeat" in err
 
     def test_run_nonconvergence_exit_code(self, capsys):
         rc = main(

@@ -1,0 +1,212 @@
+"""Integration tests for the fault-tolerance subsystem.
+
+The headline scenario: permanent crashes after warmup plus ACK loss,
+duplication, and reordering.  With the reliable transport + heartbeat +
+checkpoint takeover the run still converges to the centralized
+solution; the identical scenario without the subsystem stalls, because
+crashed groups freeze their slice of the rank vector forever.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedConfig, DistributedRun, run_distributed_pagerank
+from repro.graph import google_contest_like
+from repro.net.tracing import MessageTrace, install_tracing
+
+#: CI's chaos job sweeps this (1..3); the determinism and transparency
+#: invariants must hold for any seed.  The acceptance scenario keeps
+#: its own pinned seed — its assertions need the crashes to actually
+#: fire mid-run, which is a property of one specific draw.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1"))
+
+
+@pytest.fixture(scope="module")
+def chaos_graph():
+    return google_contest_like(400, 15, seed=7)
+
+
+#: Chaos scenario shared by the acceptance tests.  Seed 1 is chosen so
+#: the crash injector actually fires (two groups die inside the run);
+#: the scenario is deterministic, so the choice is stable.
+CHAOS = dict(
+    n_groups=8,
+    seed=1,
+    delivery_prob=0.85,
+    t1=0.0,
+    t2=4.0,
+    crash_prob=0.25,
+    crash_after=15.0,
+    crash_horizon=10.0,
+)
+
+SUBSYSTEM = dict(
+    reliable=True,
+    ack_loss_prob=0.15,
+    duplicate_prob=0.1,
+    reorder_prob=0.2,
+    reorder_max_delay=2.0,
+    heartbeat_interval=2.0,
+    heartbeat_miss_threshold=2,
+    checkpoint_interval=5.0,
+    recovery=True,
+)
+
+TARGET = 1e-8
+
+
+class TestChaosRecovery:
+    def test_converges_under_chaos_where_bare_run_stalls(self, chaos_graph):
+        cfg = DistributedConfig(**CHAOS, **SUBSYSTEM)
+        run = DistributedRun(chaos_graph, cfg)
+        trace = MessageTrace()
+        install_tracing(run.sim, run.accountant, trace)
+        result = run.run(max_time=600.0, target_relative_error=TARGET)
+
+        assert result.converged
+        assert result.final_relative_error <= TARGET
+        # The scenario genuinely exercised every layer:
+        assert result.crashed_groups > 0
+        assert result.deaths_detected > 0
+        assert result.takeovers > 0
+        assert result.checkpoint_saves > 0
+        assert result.retransmits > 0
+        assert result.dup_drops > 0
+        assert result.acks_lost > 0
+        assert result.traffic.ack_messages > 0
+        assert len(trace.records(kind="ack")) > 0
+
+        # Control arm: same graph, same seed, same crashes — but plain
+        # fire-and-forget transport and nobody to take over.
+        bare = run_distributed_pagerank(
+            chaos_graph,
+            **CHAOS,
+            max_time=600.0,
+            target_relative_error=TARGET,
+        )
+        assert bare.crashed_groups > 0
+        assert not bare.converged
+        assert bare.final_relative_error > TARGET
+
+    def test_takeover_restores_from_checkpoint(self, chaos_graph):
+        cfg = DistributedConfig(**CHAOS, **SUBSYSTEM)
+        run = DistributedRun(chaos_graph, cfg)
+        run.run(max_time=600.0, target_relative_error=TARGET)
+        assert run.recovery is not None
+        # Checkpoints every 5.0 and crashes after t=15 guarantee every
+        # takeover had a snapshot to restore.
+        assert run.recovery.takeovers
+        for _, successor, when, restored in run.recovery.takeovers:
+            assert restored
+            assert successor is not None
+            assert when > CHAOS["crash_after"]
+
+
+class TestFaultFreeBitIdentity:
+    @pytest.mark.parametrize("transport", ["indirect", "direct"])
+    def test_reliable_wrapper_is_invisible_without_faults(
+        self, chaos_graph, transport
+    ):
+        common = dict(
+            n_groups=6,
+            seed=5 + CHAOS_SEED,
+            transport=transport,
+            max_time=200.0,
+            target_relative_error=1e-6,
+        )
+        plain = run_distributed_pagerank(chaos_graph, **common)
+        wrapped = run_distributed_pagerank(chaos_graph, reliable=True, **common)
+
+        np.testing.assert_array_equal(plain.ranks, wrapped.ranks)
+        assert plain.trace.times == wrapped.trace.times
+        assert plain.trace.relative_errors == wrapped.trace.relative_errors
+        assert plain.trace.total_messages == wrapped.trace.total_messages
+        assert plain.trace.total_bytes == wrapped.trace.total_bytes
+        assert plain.traffic.total_messages == wrapped.traffic.total_messages
+        assert plain.traffic.total_bytes == wrapped.traffic.total_bytes
+        assert wrapped.retransmits == 0
+        assert wrapped.dup_drops == 0
+        # The wrapper's only trace is its (separately accounted) ACKs.
+        assert wrapped.traffic.ack_messages > 0
+        assert plain.traffic.ack_messages == 0
+
+
+class TestSeededFaultDeterminism:
+    def test_identical_seeds_identical_histories(self, chaos_graph):
+        """Two runs with loss + pause churn under the same seed must be
+        bit-identical, sample for sample (satellite: deterministic
+        injection under a shared seed)."""
+        kwargs = dict(
+            n_groups=6,
+            seed=13 + CHAOS_SEED,
+            delivery_prob=0.8,
+            pause_faults=4,
+            pause_horizon=15.0,
+            pause_mean_outage=3.0,
+            max_time=150.0,
+            target_relative_error=1e-7,
+        )
+        a = run_distributed_pagerank(chaos_graph, **kwargs)
+        b = run_distributed_pagerank(chaos_graph, **kwargs)
+        np.testing.assert_array_equal(a.ranks, b.ranks)
+        assert a.trace.times == b.trace.times
+        assert a.trace.relative_errors == b.trace.relative_errors
+        assert a.trace.mean_ranks == b.trace.mean_ranks
+        assert a.trace.total_messages == b.trace.total_messages
+        assert a.trace.total_bytes == b.trace.total_bytes
+        assert a.dropped_updates == b.dropped_updates
+
+    def test_full_chaos_determinism(self, chaos_graph):
+        """The whole subsystem — retry jitter included — replays
+        bit-identically under a fixed seed."""
+        kwargs = dict(
+            **CHAOS,
+            **SUBSYSTEM,
+            retry_jitter=0.5,
+            max_time=300.0,
+            target_relative_error=1e-7,
+        )
+        kwargs["seed"] = CHAOS_SEED
+        a = run_distributed_pagerank(chaos_graph, **kwargs)
+        b = run_distributed_pagerank(chaos_graph, **kwargs)
+        np.testing.assert_array_equal(a.ranks, b.ranks)
+        assert a.trace.times == b.trace.times
+        assert a.trace.relative_errors == b.trace.relative_errors
+        assert a.retransmits == b.retransmits
+        assert a.dup_drops == b.dup_drops
+        assert a.takeovers == b.takeovers
+        assert a.checkpoint_saves == b.checkpoint_saves
+
+
+class TestConfigValidation:
+    def test_chaos_without_reliable_rejected(self):
+        with pytest.raises(ValueError, match="reliable"):
+            DistributedConfig(duplicate_prob=0.1)
+
+    def test_recovery_without_heartbeat_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat"):
+            DistributedConfig(recovery=True)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("retry_timeout", 0.0),
+            ("retry_backoff", 0.5),
+            ("retry_jitter", -1.0),
+            ("max_retries", -1),
+            ("ack_loss_prob", 1.5),
+            ("crash_prob", -0.1),
+            ("heartbeat_miss_threshold", 0),
+            ("pause_faults", -1),
+            ("checkpoint_interval", -1.0),
+        ],
+    )
+    def test_out_of_range_knobs_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            DistributedConfig(**{field: value})
+
+    def test_retry_max_timeout_must_cover_timeout(self):
+        with pytest.raises(ValueError, match="max_timeout"):
+            DistributedConfig(retry_timeout=10.0, retry_max_timeout=5.0)

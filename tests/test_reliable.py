@@ -1,0 +1,277 @@
+"""Unit tests for repro.net.reliable (ACK/retry/dedup layer)."""
+
+import numpy as np
+import pytest
+
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.failures import BernoulliLoss, ChaosModel
+from repro.net.latency import FixedLatency
+from repro.net.message import ACK_MESSAGE_BYTES, ScoreUpdate
+from repro.net.reliable import ReliableTransport, RetryPolicy
+from repro.net.simulator import Simulator
+from repro.net.transport import DirectTransport, IndirectTransport
+from repro.overlay.base import Overlay
+
+
+class LineOverlay(Overlay):
+    """Deterministic chain (hop count i -> j is |i - j|)."""
+
+    def neighbors(self, node):
+        out = []
+        if node > 0:
+            out.append(node - 1)
+        if node < self.n_nodes - 1:
+            out.append(node + 1)
+        return out
+
+    def next_hop(self, at, dst):
+        if dst == at:
+            return dst
+        return at + 1 if dst > at else at - 1
+
+
+class ScriptedLoss:
+    """Loss model following a fixed True/False script, then delivering."""
+
+    def __init__(self, pattern):
+        self._pattern = list(pattern)
+
+    def delivered(self, src_group, dst_group):
+        if self._pattern:
+            return self._pattern.pop(0)
+        return True
+
+
+def update(src, dst, gen=1, size=3):
+    return ScoreUpdate(
+        src_group=src,
+        dst_group=dst,
+        values=np.full(size, float(gen)),
+        n_link_records=2,
+        generation=gen,
+    )
+
+
+def make_reliable(transport_cls, *, loss=None, retry=None, chaos=None,
+                  alive=None, n=5, **inner_kwargs):
+    sim = Simulator()
+    acc = TrafficAccountant(n)
+    if transport_cls is IndirectTransport:
+        inner_kwargs.setdefault("aggregation_delay", 0.0)
+    inner = transport_cls(
+        sim, LineOverlay(n), acc,
+        loss=loss, latency=FixedLatency(1.0), **inner_kwargs,
+    )
+    if retry is None:
+        # The worst path here is 4 hops + 1 ACK hop at latency 1.0, so a
+        # 20.0 timeout keeps fault-free tests free of spurious retries.
+        retry = RetryPolicy(timeout=20.0)
+    rt = ReliableTransport(inner, retry=retry, chaos=chaos, alive=alive)
+    inbox = []
+    rt.attach(lambda dst, u: inbox.append((dst, u)))
+    return sim, acc, rt, inbox
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        p = RetryPolicy(timeout=2.0, backoff=3.0, max_timeout=1000.0)
+        assert [p.delay(k, None) for k in range(3)] == [2.0, 6.0, 18.0]
+
+    def test_capped_at_max_timeout(self):
+        p = RetryPolicy(timeout=4.0, backoff=2.0, max_timeout=10.0)
+        assert p.delay(5, None) == 10.0
+
+    def test_jitter_range(self):
+        p = RetryPolicy(timeout=2.0, jitter=1.0)
+        rng = np.random.default_rng(0)
+        delays = [p.delay(0, rng) for _ in range(100)]
+        assert all(2.0 <= d <= 3.0 for d in delays)
+        assert len(set(delays)) > 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"backoff": 0.5},
+            {"jitter": -0.1},
+            {"max_timeout": 1.0, "timeout": 2.0},
+            {"max_retries": -1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+@pytest.mark.parametrize("transport_cls", [DirectTransport, IndirectTransport])
+class TestDelivery:
+    def test_delivers_and_acks(self, transport_cls):
+        sim, acc, rt, inbox = make_reliable(transport_cls)
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert [dst for dst, _ in inbox] == [3]
+        assert rt.in_flight == 0
+        assert rt.retransmits == 0
+        assert acc.ack_messages == 1
+        assert acc.ack_bytes == ACK_MESSAGE_BYTES
+
+    def test_ack_bytes_excluded_from_totals(self, transport_cls):
+        sim, acc, rt, inbox = make_reliable(transport_cls)
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        snap = acc.snapshot(sim.now)
+        assert snap.ack_messages == 1
+        assert snap.total_messages == snap.data_messages + snap.lookup_messages
+        assert snap.total_bytes == snap.data_bytes + snap.lookup_bytes
+
+    def test_sequence_numbers_per_pair(self, transport_cls):
+        sim, acc, rt, inbox = make_reliable(transport_cls)
+        u1, u2, u3 = update(0, 3), update(0, 3, gen=2), update(0, 2)
+        rt.send_updates(0, [u1, u2, u3])
+        sim.run()
+        assert (u1.seq, u2.seq) == (0, 1)  # same pair: consecutive
+        assert u3.seq == 0  # different pair: independent space
+        assert len(inbox) == 3
+
+    def test_retransmits_after_loss(self, transport_cls):
+        # First wire attempt is lost at the origin; the retry delivers.
+        sim, acc, rt, inbox = make_reliable(
+            transport_cls,
+            loss=ScriptedLoss([False]),
+            retry=RetryPolicy(timeout=10.0),
+        )
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert len(inbox) == 1
+        assert rt.retransmits == 1
+        assert rt.dropped_updates == 1
+        assert rt.in_flight == 0
+
+    def test_gives_up_after_budget(self, transport_cls):
+        sim, acc, rt, inbox = make_reliable(
+            transport_cls,
+            loss=BernoulliLoss(0.0, seed=0),
+            retry=RetryPolicy(timeout=1.0, max_retries=2),
+        )
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert inbox == []
+        assert rt.retransmits == 2
+        assert rt.gave_up == 1
+        assert rt.in_flight == 0
+
+    def test_duplicate_suppressed_and_reacked(self, transport_cls):
+        chaos = ChaosModel(duplicate_prob=1.0, seed=0)
+        sim, acc, rt, inbox = make_reliable(transport_cls, chaos=chaos)
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert len(inbox) == 1  # copy suppressed
+        assert rt.chaos_duplicates == 1
+        assert rt.dup_drops == 1
+        assert acc.ack_messages == 2  # every delivery ACKed, dup included
+
+    def test_lost_acks_force_retransmission_until_budget(self, transport_cls):
+        chaos = ChaosModel(ack_loss_prob=1.0, seed=0)
+        sim, acc, rt, inbox = make_reliable(
+            transport_cls,
+            chaos=chaos,
+            retry=RetryPolicy(timeout=2.0, max_retries=3),
+        )
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        # Data always arrives; the sender just never hears back.
+        assert len(inbox) == 1
+        assert rt.retransmits == 3
+        assert rt.gave_up == 1
+        assert rt.dup_drops == 3  # each retransmission deduped
+        assert rt.acks_lost == 4  # original + 3 retries all ACK-lost
+
+    def test_dead_receiver_swallows_without_ack(self, transport_cls):
+        sim, acc, rt, inbox = make_reliable(
+            transport_cls,
+            alive=lambda g: False,
+            retry=RetryPolicy(timeout=1.0, max_retries=1),
+        )
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert inbox == []
+        assert rt.dead_drops == 2  # original + 1 retry
+        assert acc.ack_messages == 0
+        assert rt.gave_up == 1
+
+    def test_stale_ack_after_give_up(self, transport_cls):
+        # Timeout shorter than the ACK round trip with a zero retry
+        # budget: the sender abandons the seq, then the ACK lands.
+        sim, acc, rt, inbox = make_reliable(
+            transport_cls,
+            retry=RetryPolicy(timeout=0.5, max_retries=0),
+        )
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert len(inbox) == 1
+        assert rt.gave_up == 1
+        assert rt.stale_acks == 1
+
+    def test_retransmission_resets_hop_budget(self, transport_cls):
+        # A retransmitted update must traverse the overlay from scratch;
+        # stale hops_taken from the lost attempt would hit the TTL.
+        sim, acc, rt, inbox = make_reliable(
+            transport_cls,
+            loss=ScriptedLoss([False, False]),
+            retry=RetryPolicy(timeout=10.0),
+        )
+        u = update(0, 4)
+        rt.send_updates(0, [u])
+        sim.run()
+        assert len(inbox) == 1
+        assert rt.retransmits == 2
+
+
+class TestSpuriousRetransmit:
+    def test_timeout_below_rtt_is_deduped(self):
+        # A timeout shorter than the ACK round trip (5.0 here) fires
+        # before the ACK lands: classic spurious ARQ retransmission.
+        # The receiver's dedup keeps delivery exactly-once regardless.
+        sim, acc, rt, inbox = make_reliable(
+            DirectTransport, retry=RetryPolicy(timeout=4.0)
+        )
+        rt.send_updates(0, [update(0, 3)])
+        sim.run()
+        assert len(inbox) == 1
+        assert rt.retransmits >= 1
+        assert rt.dup_drops == rt.retransmits
+        assert rt.in_flight == 0
+
+
+class TestFaultFreeTransparency:
+    """Without faults the wrapper must be timing-invisible."""
+
+    @pytest.mark.parametrize(
+        "transport_cls", [DirectTransport, IndirectTransport]
+    )
+    def test_same_arrival_times_as_bare_transport(self, transport_cls):
+        def arrivals(wrap):
+            sim = Simulator()
+            acc = TrafficAccountant(5)
+            kwargs = (
+                {"aggregation_delay": 0.0}
+                if transport_cls is IndirectTransport
+                else {}
+            )
+            t = transport_cls(
+                sim, LineOverlay(5), acc, latency=FixedLatency(1.0), **kwargs
+            )
+            if wrap:
+                t = ReliableTransport(t, retry=RetryPolicy(timeout=20.0))
+            times = []
+            t.attach(lambda dst, u: times.append((sim.now, dst)))
+            t.send_updates(0, [update(0, 3), update(0, 4)])
+            sim.run()
+            return times, acc.snapshot(sim.now)
+
+        bare_times, bare_snap = arrivals(wrap=False)
+        rel_times, rel_snap = arrivals(wrap=True)
+        assert rel_times == bare_times
+        assert rel_snap.total_messages == bare_snap.total_messages
+        assert rel_snap.total_bytes == bare_snap.total_bytes

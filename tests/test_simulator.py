@@ -125,3 +125,56 @@ class TestRunControls:
 
     def test_step_on_empty_queue(self):
         assert Simulator().step() is False
+
+
+class TestUntilWithCancellation:
+    """Regression tests: ``run(until=...)`` vs mid-drain cancellation.
+
+    The early-exit check must ignore cancelled heap heads, and ``now``
+    must land exactly on ``until`` even when callbacks cancel every
+    remaining event before that time is reached.
+    """
+
+    def test_callback_cancelling_rest_still_advances_now(self):
+        sim = Simulator()
+        log = []
+        b = sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, lambda: (log.append("a"), b.cancel()))
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+
+    def test_cancelled_head_beyond_until_does_not_mask_drain(self):
+        sim = Simulator()
+        log = []
+        h = sim.schedule(10.0, log.append, "late")
+        sim.schedule(3.0, log.append, "early")
+        h.cancel()
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+        assert sim.pending == 0
+
+    def test_natural_drain_before_until_advances_now(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_survivors_beyond_until_still_run_later(self):
+        sim = Simulator()
+        log = []
+        b = sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, b.cancel)
+        sim.schedule(8.0, log.append, "c")
+        sim.run(until=5.0)
+        assert log == []
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["c"]
+        assert sim.now == 8.0
+
+    def test_empty_queue_run_until_advances_now(self):
+        sim = Simulator()
+        sim.run(until=4.0)
+        assert sim.now == 4.0
