@@ -1,0 +1,158 @@
+"""Bench: event engine vs flat bulk-synchronous engine, wall-clock.
+
+Both engines run the *same* workload — DPR2 over the indirect (DHT
+store-and-forward) transport on a Chord overlay, lossless, under the
+synchronous schedule — and must produce bit-identical final ranks and
+identical paper-formula traffic totals; the only thing allowed to
+differ is wall-clock time.  The event engine replays every update as
+simulator events (per-hop forwarding, per-message receive); the flat
+engine runs three SpMVs per round and accounts traffic from one
+calibration replay.
+
+Workload shape
+--------------
+Three scales, growing pages and rankers together.  The round budget of
+the headline 10⁵-page case matches Figure 8's published time budget
+(max_time 4000 at T1=T2=15 ≈ 266 outer loops); under a synchronous
+schedule the virtual period itself is arbitrary, so the budget is
+expressed directly in rounds.  Each case is timed as one single-shot
+end-to-end `run_distributed_pagerank` call (these are long runs;
+multi-round statistical timing would cost minutes for no insight).
+The partition and centralized reference are prebuilt and shared so the
+comparison isolates engine cost.
+
+On teardown the module writes ``BENCH_engine.json`` at the repo root:
+per-scale wall-clock for both engines, the speedup, the identity
+checks, and measured-vs-formula per-round traffic.  The 10⁵-page case
+gates CI: flat must stay at least ``GATE_MIN_SPEEDUP``× faster.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core.coordinator import run_distributed_pagerank
+from repro.core.engine import SynchronousEngine
+from repro.core.pagerank import pagerank_open
+from repro.graph import google_contest_like, make_partition
+
+import pytest
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
+
+#: CI gate: minimum flat-over-event speedup at the largest scale.
+GATE_MIN_SPEEDUP = 5.0
+
+#: Synchronous tick period (virtual time; value is arbitrary under the
+#: sync schedule).  max_time = rounds · T + T/2 leaves a drain margin
+#: shorter than one period but longer than the indirect transport's
+#: per-round delivery chain, so the event engine records the final
+#: round's flushes without admitting an extra tick.
+PERIOD = 100.0
+
+SCALES = [
+    dict(name="10k", n_pages=10_000, n_sites=200, n_groups=16, rounds=80),
+    dict(name="40k", n_pages=40_000, n_sites=800, n_groups=32, rounds=160),
+    dict(name="100k", n_pages=100_000, n_sites=2_000, n_groups=64, rounds=266),
+]
+
+#: scale name -> recorded result row (filled as cases run).
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_engine.json once every case has run."""
+    yield
+    if not _RESULTS:
+        return
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "bench": "engine",
+                "workload": "dpr2 / indirect transport / chord overlay / "
+                "p=1 / synchronous schedule",
+                "gate_min_speedup_100k": GATE_MIN_SPEEDUP,
+                "scales": [_RESULTS[s["name"]] for s in SCALES if s["name"] in _RESULTS],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def _run(engine, graph, partition, reference, n_groups, rounds):
+    max_time = rounds * PERIOD + PERIOD / 2.0
+    t0 = time.perf_counter()
+    res = run_distributed_pagerank(
+        graph,
+        n_groups=n_groups,
+        algorithm="dpr2",
+        partition_strategy="url",
+        transport="indirect",
+        overlay="chord",
+        delivery_prob=1.0,
+        t1=PERIOD,
+        t2=PERIOD,
+        seed=17,
+        schedule="sync",
+        sample_interval=PERIOD,
+        engine=engine,
+        partition=partition,
+        reference=reference,
+        max_time=max_time,
+    )
+    return res, time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("case", SCALES, ids=[s["name"] for s in SCALES])
+def test_engine_speedup(case):
+    graph = google_contest_like(case["n_pages"], case["n_sites"], seed=17)
+    partition = make_partition(graph, case["n_groups"], "url")
+    reference = pagerank_open(graph).ranks
+
+    flat, flat_s = _run(
+        "flat", graph, partition, reference, case["n_groups"], case["rounds"]
+    )
+    event, event_s = _run(
+        "event", graph, partition, reference, case["n_groups"], case["rounds"]
+    )
+
+    # The engines must agree exactly — the speedup is meaningless
+    # unless the cheap engine does the same computation.
+    assert event.ranks.tobytes() == flat.ranks.tobytes()
+    assert event.traffic.data_messages == flat.traffic.data_messages
+    assert event.traffic.data_bytes == flat.traffic.data_bytes
+    assert event.traffic.lookup_messages == flat.traffic.lookup_messages
+    assert event.traffic.lookup_bytes == flat.traffic.lookup_bytes
+    assert int(flat.outer_iterations[0]) == case["rounds"]
+
+    # Measured-vs-formula per-round traffic (engine's cost_model bridge).
+    probe = SynchronousEngine(
+        graph, flat.config, partition=partition, reference=reference
+    )
+    round_traffic = probe.calibrated_round_traffic()
+    formula = probe.paper_round_estimate()
+
+    speedup = event_s / flat_s
+    _RESULTS[case["name"]] = {
+        "name": case["name"],
+        "n_pages": case["n_pages"],
+        "n_groups": case["n_groups"],
+        "rounds": case["rounds"],
+        "event_wall_s": round(event_s, 3),
+        "flat_wall_s": round(flat_s, 3),
+        "speedup": round(speedup, 2),
+        "bit_identical_ranks": True,
+        "identical_traffic": True,
+        "round_data_messages": round_traffic.data_messages,
+        "round_data_bytes": round_traffic.data_bytes,
+        "formula_data_messages": formula["data_messages"],
+        "formula_data_bytes": formula["data_bytes"],
+    }
+
+    if case["name"] == "100k":
+        assert speedup >= GATE_MIN_SPEEDUP, (
+            f"flat engine speedup {speedup:.2f}x fell below the "
+            f"{GATE_MIN_SPEEDUP}x gate at the 1e5-page scale"
+        )

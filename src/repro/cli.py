@@ -85,18 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sites", type=int, default=100, help="site count")
         p.add_argument("--seed", type=int, default=2003)
 
+    def add_engine(p):
+        p.add_argument(
+            "--engine", choices=["event", "flat"], default="event",
+            help="execution engine: per-message event simulation, or "
+            "vectorized bulk-synchronous rounds (much faster at scale; "
+            "requires --schedule sync and samples once per round)",
+        )
+        p.add_argument(
+            "--schedule", choices=["async", "sync"], default="async",
+            help="event-engine wake schedule: exponential waits (async, "
+            "the paper's model) or one common fixed period (sync, "
+            "bit-identical to --engine flat)",
+        )
+
     p_fig6 = sub.add_parser("fig6", help="relative error vs time (Fig 6)")
     add_workload(p_fig6)
+    add_engine(p_fig6)
     p_fig6.add_argument("--groups", type=int, default=64)
     p_fig6.add_argument("--max-time", type=float, default=90.0)
 
     p_fig7 = sub.add_parser("fig7", help="monotone average rank (Fig 7)")
     add_workload(p_fig7)
+    add_engine(p_fig7)
     p_fig7.add_argument("--groups", type=int, default=100)
     p_fig7.add_argument("--max-time", type=float, default=90.0)
 
     p_fig8 = sub.add_parser("fig8", help="iterations vs #rankers (Fig 8)")
     add_workload(p_fig8)
+    add_engine(p_fig8)
     p_fig8.add_argument("--ks", type=_int_list, default=[2, 10, 100, 256])
     p_fig8.add_argument("--max-time", type=float, default=4000.0)
 
@@ -106,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="one distributed page-ranking run")
     add_workload(p_run)
+    add_engine(p_run)
     p_run.add_argument("--groups", type=int, default=16)
     p_run.add_argument("--algorithm", choices=["dpr1", "dpr2"], default="dpr1")
     p_run.add_argument(
@@ -197,7 +215,10 @@ def _make_graph(args):
 def cmd_fig6(args) -> int:
     from repro.experiments import run_fig6
 
-    result = run_fig6(_make_graph(args), n_groups=args.groups, max_time=args.max_time)
+    result = run_fig6(
+        _make_graph(args), n_groups=args.groups, max_time=args.max_time,
+        engine=args.engine, schedule=args.schedule,
+    )
     print(result.format())
     return 0
 
@@ -205,7 +226,10 @@ def cmd_fig6(args) -> int:
 def cmd_fig7(args) -> int:
     from repro.experiments import run_fig7
 
-    result = run_fig7(_make_graph(args), n_groups=args.groups, max_time=args.max_time)
+    result = run_fig7(
+        _make_graph(args), n_groups=args.groups, max_time=args.max_time,
+        engine=args.engine, schedule=args.schedule,
+    )
     print(result.format())
     return 0 if all(result.monotone.values()) else 1
 
@@ -213,7 +237,10 @@ def cmd_fig7(args) -> int:
 def cmd_fig8(args) -> int:
     from repro.experiments import run_fig8
 
-    result = run_fig8(_make_graph(args), ks=args.ks, max_time=args.max_time)
+    result = run_fig8(
+        _make_graph(args), ks=args.ks, max_time=args.max_time,
+        engine=args.engine, schedule=args.schedule,
+    )
     print(result.format())
     return 0
 
@@ -234,6 +261,8 @@ def cmd_run(args) -> int:
         result = run_distributed_pagerank(
             graph,
             n_groups=args.groups,
+            engine=args.engine,
+            schedule=args.schedule,
             algorithm=args.algorithm,
             partition_strategy=args.partition,
             overlay=args.overlay,

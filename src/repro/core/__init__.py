@@ -14,6 +14,9 @@ Layered as the paper presents it:
 * :mod:`~repro.core.coordinator` — builds the whole distributed
   system (graph → partition → blocks → overlay → transport → rankers)
   and runs it to convergence, producing the traces behind Figs 6–8.
+* :mod:`~repro.core.engine` — the flat bulk-synchronous execution
+  engine: whole-system block SpMV rounds with analytically accounted
+  traffic, bit-identical to the event engine's synchronous schedule.
 * :mod:`~repro.core.convergence` — relative-error/monotonicity
   instrumentation (Theorems 4.1/4.2 checks).
 * :mod:`~repro.core.recovery` — checkpointing and heartbeat-triggered
@@ -40,8 +43,10 @@ from repro.core.coordinator import (
     DistributedConfig,
     DistributedRun,
     RunResult,
+    assemble_run_result,
     run_distributed_pagerank,
 )
+from repro.core.engine import SynchronousEngine
 
 __all__ = [
     "PageRankResult",
@@ -60,5 +65,7 @@ __all__ = [
     "DistributedConfig",
     "DistributedRun",
     "RunResult",
+    "assemble_run_result",
     "run_distributed_pagerank",
+    "SynchronousEngine",
 ]

@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.convergence import ConvergenceTrace, Monitor
 from repro.core.dpr import DPRNode
 from repro.core.open_system import GroupSystem
-from repro.core.ranker import PageRanker
+from repro.core.ranker import MIN_MEAN_WAIT, PageRanker
 from repro.core.recovery import Checkpointer, CheckpointStore, RecoveryManager
 from repro.graph.partition import Partition, make_partition
 from repro.graph.webgraph import WebGraph
@@ -46,7 +46,13 @@ from repro.utils.validation import (
     check_probability,
 )
 
-__all__ = ["DistributedConfig", "DistributedRun", "RunResult", "run_distributed_pagerank"]
+__all__ = [
+    "DistributedConfig",
+    "DistributedRun",
+    "RunResult",
+    "assemble_run_result",
+    "run_distributed_pagerank",
+]
 
 
 @dataclass
@@ -59,6 +65,18 @@ class DistributedConfig:
 
     n_groups: int = 16
     algorithm: str = "dpr1"  # "dpr1" | "dpr2"
+    #: Execution engine: "event" replays every message on the
+    #: discrete-event simulator; "flat" runs the same outer loops as
+    #: whole-system block SpMVs with analytically accounted traffic
+    #: (see :mod:`repro.core.engine`).  Under the synchronous schedule
+    #: the two produce bit-identical ranks and identical traffic.
+    engine: str = "event"
+    #: Wake scheduling of the *event* engine: "async" draws
+    #: exponential waits (the paper's timing model); "sync" makes
+    #: every ranker tick at the common fixed period
+    #: ``max((t1+t2)/2, MIN_MEAN_WAIT)`` — the bulk-synchronous
+    #: schedule the flat engine reproduces exactly.
+    schedule: str = "async"
     alpha: float = 0.85
     partition_strategy: str = "site"  # "site" | "url" | "random" | "contiguous"
     overlay: str = "pastry"  # "pastry" | "chord" | "can"
@@ -77,7 +95,14 @@ class DistributedConfig:
     aggregation_delay: float = 0.25
     suppress_tol: float = 0.0
     e: Union[float, np.ndarray, None] = None
-    sample_interval: float = 1.0
+    #: Monitor sampling cadence.  ``None`` resolves in
+    #: ``__post_init__``: 1.0 for the event engine, the synchronous
+    #: period for the flat engine.  The flat engine only accepts
+    #: intervals that are whole multiples of the period — its samples
+    #: land exactly on round boundaries, so any finer cadence would
+    #: silently change trip ordering and final-round traffic relative
+    #: to the event engine instead of staying bit-identical.
+    sample_interval: Optional[float] = None
     seed: int = 0
     #: Explicit per-ranker mean waits (length ``n_groups``); overrides
     #: the uniform [t1, t2] draw.  Lets experiments model deliberate
@@ -128,6 +153,10 @@ class DistributedConfig:
             raise ValueError("n_groups must be >= 1")
         if self.algorithm not in ("dpr1", "dpr2"):
             raise ValueError("algorithm must be 'dpr1' or 'dpr2'")
+        if self.engine not in ("event", "flat"):
+            raise ValueError("engine must be 'event' or 'flat'")
+        if self.schedule not in ("async", "sync"):
+            raise ValueError("schedule must be 'async' or 'sync'")
         if self.x_mode not in ("exact", "delta"):
             raise ValueError("x_mode must be 'exact' or 'delta'")
         check_fraction(self.alpha, "alpha")
@@ -146,6 +175,53 @@ class DistributedConfig:
                 )
             if any(w < 0 for w in self.mean_waits):
                 raise ValueError("mean_waits must be non-negative")
+        if self.schedule == "sync" and self.mean_waits is not None:
+            raise ValueError(
+                "the sync schedule derives one common wait from (t1+t2)/2; "
+                "explicit mean_waits are only meaningful under schedule='async'"
+            )
+        period = max(0.5 * (self.t1 + self.t2), MIN_MEAN_WAIT)
+        if self.sample_interval is None:
+            self.sample_interval = period if self.engine == "flat" else 1.0
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0")
+        if self.engine == "flat":
+            if self.schedule != "sync":
+                raise ValueError(
+                    "engine='flat' implements the synchronous schedule; "
+                    "pass schedule='sync' (the event engine simulates "
+                    "schedule='async')"
+                )
+            ratio = self.sample_interval / period
+            if ratio < 1.0 or not float(ratio).is_integer():
+                raise ValueError(
+                    "engine='flat' samples at round boundaries: "
+                    "sample_interval must be a whole multiple of the "
+                    f"synchronous period {period!r} (got "
+                    f"{self.sample_interval!r}); pass "
+                    "sample_interval=None to use the period itself"
+                )
+        if self.engine == "flat":
+            unsupported = [
+                name
+                for name, active in (
+                    ("reliable", self.reliable),
+                    ("suppress_tol", self.suppress_tol > 0.0),
+                    ("pause_faults", self.pause_faults > 0),
+                    ("crash_prob", self.crash_prob > 0.0),
+                    ("heartbeat_interval", self.heartbeat_interval > 0.0),
+                    ("checkpoint_interval", self.checkpoint_interval > 0.0),
+                    ("recovery", self.recovery),
+                    ("x_mode='delta'", self.x_mode == "delta"),
+                )
+                if active
+            ]
+            if unsupported:
+                raise ValueError(
+                    "engine='flat' runs failure-free bulk-synchronous rounds "
+                    f"and does not support: {', '.join(unsupported)}; "
+                    "use the event engine for those features"
+                )
         # Reliability / fault-tolerance knobs.
         check_non_negative(self.retry_timeout, "retry_timeout")
         if self.retry_timeout <= 0:
@@ -258,6 +334,51 @@ class RunResult:
         return int(self.inner_sweeps.max()) if self.inner_sweeps.size else 0
 
 
+def assemble_run_result(
+    *,
+    ranks: np.ndarray,
+    reference: np.ndarray,
+    trace: ConvergenceTrace,
+    converged: bool,
+    time_to_target: Optional[float],
+    outer_iterations: np.ndarray,
+    inner_sweeps: np.ndarray,
+    accountant: TrafficAccountant,
+    now: float,
+    dropped_updates: int,
+    config: DistributedConfig,
+    quiescent: bool = False,
+    quiescence_time: Optional[float] = None,
+    **counters: int,
+) -> RunResult:
+    """Build a :class:`RunResult` from one finished run's pieces.
+
+    This is the single reporting path shared by the event engine
+    (:class:`DistributedRun`) and the flat engine
+    (:class:`~repro.core.engine.SynchronousEngine`): the traffic
+    snapshot is taken here, from the one :class:`TrafficAccountant`
+    both engines feed, so reported totals always come out of the same
+    counter arithmetic.  Reliability/fault counters that an engine
+    does not track (the flat engine runs failure-free) default to 0
+    via ``counters``.
+    """
+    return RunResult(
+        ranks=ranks,
+        reference=reference,
+        trace=trace,
+        converged=converged,
+        time_to_target=time_to_target,
+        outer_iterations=outer_iterations,
+        inner_sweeps=inner_sweeps,
+        traffic=accountant.snapshot(now),
+        dropped_updates=dropped_updates,
+        quiescent=quiescent,
+        quiescence_time=quiescence_time,
+        config=config,
+        **counters,
+    )
+
+
 class DistributedRun:
     """A fully wired distributed page-ranking system, ready to run.
 
@@ -351,12 +472,17 @@ class DistributedRun:
         self._seeds = seeds
         self._mean_waits: List[float] = []
         self.rankers: List[PageRanker] = []
+        sync_wait = 0.5 * (config.t1 + config.t2)
         for g in range(config.n_groups):
-            mean_wait = (
-                float(config.mean_waits[g])
-                if config.mean_waits is not None
-                else float(wait_rng.uniform(config.t1, config.t2))
-            )
+            if config.schedule == "sync":
+                # One common fixed period for every ranker; the "wait-
+                # means" stream is simply not drawn from (named streams
+                # are independent, so skipping it perturbs nothing).
+                mean_wait = sync_wait
+            elif config.mean_waits is not None:
+                mean_wait = float(config.mean_waits[g])
+            else:
+                mean_wait = float(wait_rng.uniform(config.t1, config.t2))
             self._mean_waits.append(mean_wait)
             self.rankers.append(self._make_ranker(g, seeds.generator(f"wait/{g}")))
         self.transport.attach(self._deliver)
@@ -432,6 +558,7 @@ class DistributedRun:
             mean_wait=self._mean_waits[g],
             seed=seed,
             suppress_tol=cfg.suppress_tol,
+            fixed_wait=cfg.schedule == "sync",
         )
 
     def _make_replacement(self, g: int, epoch: int) -> PageRanker:
@@ -494,7 +621,7 @@ class DistributedRun:
 
         rel = self.reliable
         ranks = self.monitor.current_ranks()
-        return RunResult(
+        return assemble_run_result(
             ranks=ranks,
             reference=self.reference,
             trace=self.monitor.trace,
@@ -506,10 +633,12 @@ class DistributedRun:
             inner_sweeps=np.array(
                 [rk.node.inner_sweeps for rk in self.rankers], dtype=np.int64
             ),
-            traffic=self.accountant.snapshot(self.sim.now),
+            accountant=self.accountant,
+            now=self.sim.now,
             dropped_updates=self.transport.dropped_updates,
             quiescent=self.monitor.reached_quiescence,
             quiescence_time=self.monitor.quiescence_time,
+            config=cfg,
             retransmits=rel.retransmits if rel is not None else 0,
             gave_up=rel.gave_up if rel is not None else 0,
             dup_drops=rel.dup_drops if rel is not None else 0,
@@ -529,7 +658,6 @@ class DistributedRun:
                 self.recovery.takeover_count if self.recovery is not None else 0
             ),
             checkpoint_saves=self.checkpoint_store.saves,
-            config=cfg,
         )
 
 
@@ -560,6 +688,17 @@ def run_distributed_pagerank(
         from dataclasses import replace
 
         config = replace(config, **config_overrides)
+    if config.engine == "flat":
+        # Imported lazily: the engine module imports coordinator types.
+        from repro.core.engine import SynchronousEngine
+
+        return SynchronousEngine(
+            graph, config, partition=partition, reference=reference
+        ).run(
+            max_time=max_time,
+            target_relative_error=target_relative_error,
+            quiescence_delta=quiescence_delta,
+        )
     run = DistributedRun(graph, config, partition=partition, reference=reference)
     return run.run(
         max_time=max_time,

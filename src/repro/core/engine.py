@@ -1,0 +1,652 @@
+"""Vectorized bulk-synchronous execution engine (the "flat" engine).
+
+The event engine (:class:`~repro.core.coordinator.DistributedRun`)
+replays every score update as a simulator event: one Python object per
+(source, destination) pair per outer loop, one heap operation per
+delivery, one ``DPRNode.receive`` per update.  That faithfully models
+the paper's asynchronous timing, but when the *schedule* is
+synchronous — every ranker ticking at the same fixed period — the
+per-message machinery computes exactly one bulk-synchronous round per
+tick, and the whole round collapses into dense linear algebra:
+
+* **compute** — all K in-group operators ``A_G`` are assembled once
+  into a single block-diagonal CSR, so a DPR2 outer loop over the
+  entire system is *one* SpMV over the concatenated rank vector (plus
+  one fused add/delta pass); DPR1 runs the same per-group warm-started
+  Jacobi solves as the event engine, sharing its
+  :class:`~repro.linalg.jacobi.JacobiWorkspace` kernels;
+* **communicate** — all stacked per-group efferent operators are
+  assembled once into a single whole-system *cut matrix*, compressed
+  to its structurally nonzero rows, so every efferent vector ``Y`` of
+  the round is one more SpMV over exactly the cross-link elements; at
+  ``delivery_prob = 1`` delivery + afferent refresh then collapse into
+  a third SpMV ``X = F·Y`` against a 0/1 *afferent matrix* whose
+  per-row storage order replays the observed arrival order;
+* **account** — instead of materializing ScoreUpdate objects, the
+  engine replays one *calibration round* of empty-payload sends
+  through the real transport classes on a scratch simulator.  That
+  yields (a) the exact per-round traffic, merged into the main
+  :class:`~repro.net.bandwidth.TrafficAccountant` each round via
+  :meth:`~repro.net.bandwidth.TrafficAccountant.merge`, and (b) the
+  exact delivery order, which fixes the afferent summation order (see
+  below).  At ``delivery_prob = 1`` the calibration runs once for the
+  whole run; under loss it is replayed per round over the surviving
+  pairs (cost proportional to K², independent of page count).
+
+Bit-identity
+------------
+The engine is not approximately equivalent to the event engine under
+the synchronous schedule — it is **bit-identical**, which the
+equivalence tests assert.  The reasoning:
+
+* block-diagonal SpMV: each output row's dot product runs over the
+  same stored values in the same order as the per-block SpMV, so IEEE
+  non-associativity never enters;
+* the cut-matrix SpMV likewise reproduces each group's stacked
+  efferent product row for row; dropping the cut matrix's structurally
+  *empty* rows is exact because every score is nonnegative, so the
+  event engine's adds of those always-``+0.0`` elements
+  (``x + 0.0 == x`` bitwise for ``x ≥ +0.0``) never change a single
+  bit of any afferent sum;
+* afferent sums: a :class:`~repro.core.dpr.DPRNode` re-sums its
+  newest per-source vectors in *first-arrival order* (dict insertion
+  order).  Under loss the engine keeps the same insertion-ordered
+  dict per destination, appending sources in the delivery order
+  observed on the calibration replay — the same order the event
+  simulator produces, since both route through identical transports.
+  At ``delivery_prob = 1`` every source re-arrives every round, so the
+  whole refresh is one SpMV ``X = F·Y``: scipy's CSR kernel
+  accumulates each output row over its stored entries *in storage
+  order*, and ``F``'s rows are laid out in exactly the arrival order,
+  so the scalar additions happen in the same sequence the node's
+  vector adds produce;
+* loss draws: the Bernoulli stream is consumed in (source group
+  ascending, destination ascending) order, exactly the order rankers
+  tick and emit in a synchronous event round.
+
+Use ``DistributedConfig(engine="flat")`` (CLI ``--engine flat``) to
+select it end to end; results come back as the same
+:class:`~repro.core.coordinator.RunResult` via the shared
+:func:`~repro.core.coordinator.assemble_run_result` reporting path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.convergence import ConvergenceTrace
+from repro.core.coordinator import (
+    DistributedConfig,
+    RunResult,
+    assemble_run_result,
+)
+from repro.core.open_system import GroupSystem
+from repro.core.ranker import MIN_MEAN_WAIT
+from repro.graph.partition import Partition, make_partition
+from repro.graph.webgraph import WebGraph
+from repro.linalg.jacobi import JacobiWorkspace, csr_matvec_into, jacobi_solve
+from repro.linalg.norms import relative_l1_error
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.failures import BernoulliLoss, NoLoss
+from repro.net.latency import FixedLatency
+from repro.net.message import ScoreUpdate
+from repro.net.simulator import Simulator
+from repro.net.transport import build_transport
+from repro.overlay import build_overlay
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["SynchronousEngine"]
+
+#: Shared zero-length payload for calibration ScoreUpdates — the
+#: transports only read routing metadata and ``n_link_records``.
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+class SynchronousEngine:
+    """Whole-system block-SpMV runner for failure-free synchronous runs.
+
+    Construction mirrors :class:`~repro.core.coordinator.DistributedRun`
+    (same partition, overlay, and loss streams from the same named
+    seeds), then flattens the K per-group operators into two global
+    matrices.  :meth:`run` executes ticks at the common period
+    ``max((t1+t2)/2, MIN_MEAN_WAIT)`` until ``max_time``, a target
+    error, or quiescence — the same stop conditions the event engine's
+    monitor applies.
+
+    Parameters
+    ----------
+    graph, config:
+        The crawl and the experiment parameters.  The config must
+        satisfy the ``engine="flat"`` restrictions (failure-free:
+        no reliability layer, churn, or delta suppression).
+    partition, reference:
+        Optional precomputed partition / centralized solution, exactly
+        as accepted by ``DistributedRun``.
+    """
+
+    def __init__(
+        self,
+        graph: WebGraph,
+        config: DistributedConfig,
+        *,
+        partition: Optional[Partition] = None,
+        reference: Optional[np.ndarray] = None,
+    ):
+        self.graph = graph
+        self.config = config
+        seeds = SeedSequenceFactory(config.seed)
+
+        self.partition = (
+            partition
+            if partition is not None
+            else make_partition(
+                graph,
+                config.n_groups,
+                config.partition_strategy,
+                seed=seeds.seed("partition"),
+            )
+        )
+        if self.partition.n_groups != config.n_groups:
+            raise ValueError("partition n_groups disagrees with config")
+
+        self.system = GroupSystem(
+            graph, self.partition, alpha=config.alpha, e=config.e
+        )
+        self.reference = (
+            np.asarray(reference, dtype=np.float64)
+            if reference is not None
+            else self.system.solve_exact()
+        )
+
+        self.overlay = build_overlay(
+            config.overlay, config.n_groups, seed=seeds.seed("overlay") % (2**31)
+        )
+        self.accountant = TrafficAccountant(config.n_groups)
+        self._loss = (
+            NoLoss()
+            if config.delivery_prob >= 1.0
+            else BernoulliLoss(config.delivery_prob, seed=seeds.generator("loss"))
+        )
+        #: Updates suppressed by the loss model (same meaning as the
+        #: transports' counter of the same name).
+        self.dropped_updates = 0
+
+        k = config.n_groups
+        blocks = self.system.blocks
+        sizes = [blocks.group_size(g) for g in range(k)]
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self._slices = [slice(int(offsets[g]), int(offsets[g + 1])) for g in range(k)]
+        n_total = int(offsets[-1])
+
+        # One block-diagonal CSR for every in-group operator: row i of
+        # group g's block becomes global row offset[g]+i with the same
+        # stored values in the same order, so SpMV results match the
+        # per-block products bit for bit.
+        self._a_all = sp.block_diag(blocks.diag, format="csr")
+        # One whole-system cut matrix: block-diagonal stack of every
+        # group's stacked efferent operator, then compressed to its
+        # structurally nonzero rows.  A dense efferent segment's zero
+        # rows are always exactly +0.0 in the event engine too, and
+        # adding +0.0 to a nonnegative score is a bitwise no-op, so
+        # computing/summing only the nonzero rows is exact (see module
+        # docstring).  Output segment g holds group g's efferent
+        # vectors, destinations ascending.
+        eff_ops = [blocks.efferent_operator(g) for g in range(k)]
+        cut_full = sp.block_diag(eff_ops, format="csr")
+        row_nnz = np.diff(cut_full.indptr)
+        nz_mask = row_nnz > 0
+        # Prefix sum over the mask: original dense Y row -> compressed
+        # Y row (valid where nz_mask holds).
+        prefix = np.concatenate([[0], np.cumsum(nz_mask)])
+        n_nz = int(prefix[-1])
+        # Removing empty rows moves no stored data: reuse the data and
+        # index arrays verbatim and recompute only the row pointer.
+        comp_indptr = np.concatenate(
+            [[0], np.cumsum(row_nnz[nz_mask])]
+        ).astype(cut_full.indptr.dtype)
+        self._cut = sp.csr_matrix(
+            (cut_full.data, cut_full.indices, comp_indptr),
+            shape=(n_nz, n_total),
+        )
+
+        # Per ordered (src, dst) pair, in emission order (src group
+        # ascending, destinations ascending — the event engine's loss
+        # draw order): the pair's slice of the *compressed* Y vector,
+        # the destination-local indices of its nonzero rows, and its
+        # link-record count for byte accounting.
+        self._pairs: List[Tuple[int, int, slice, np.ndarray, int]] = []
+        y_base = 0
+        for g in range(k):
+            seg = y_base
+            for h in blocks.destinations_of(g):
+                n_rows = sizes[h]
+                local_idx = np.flatnonzero(nz_mask[seg : seg + n_rows])
+                self._pairs.append(
+                    (
+                        g,
+                        h,
+                        slice(int(prefix[seg]), int(prefix[seg + n_rows])),
+                        local_idx,
+                        self.system.cross_records(g, h),
+                    )
+                )
+                seg += n_rows
+            y_base += blocks.efferent_rows(g)
+        self._pair_cslice: Dict[Tuple[int, int], slice] = {
+            (g, h): csl for g, h, csl, _, _ in self._pairs
+        }
+        self._pair_idx: Dict[Tuple[int, int], np.ndarray] = {
+            (g, h): idx for g, h, _, idx, _ in self._pairs
+        }
+        self._offsets = offsets
+
+        # Mutable round state.
+        self._r = np.zeros(n_total, dtype=np.float64)
+        self._ping = np.zeros(n_total, dtype=np.float64)
+        self._scratch = np.zeros(n_total, dtype=np.float64)
+        self._x = np.zeros(n_total, dtype=np.float64)
+        self._f = np.zeros(n_total, dtype=np.float64)
+        self._y = np.zeros(n_nz, dtype=np.float64)
+        self._beta_e = (
+            np.concatenate(self.system.beta_e)
+            if k > 0 and n_total > 0
+            else np.zeros(n_total, dtype=np.float64)
+        )
+        #: Newest afferent vector (compressed to its nonzero elements)
+        #: per source, per destination group — insertion-ordered
+        #: exactly like ``DPRNode._latest_values``.  Used only under
+        #: loss; the lossless path goes through :attr:`_afferent`.
+        self._latest: List[Dict[int, np.ndarray]] = [{} for _ in range(k)]
+        #: 0/1 afferent matrix for the lossless fast path (X = F·Y),
+        #: built lazily from the first calibration's arrival order.
+        self._afferent: Optional[sp.csr_matrix] = None
+        #: Destinations that received mail last round (refresh set).
+        self._mail: set = set()
+        self._workspaces = [JacobiWorkspace(sizes[g]) for g in range(k)]
+        self._last_delta = np.full(k, np.inf, dtype=np.float64)
+        self._inner_sweeps = np.zeros(k, dtype=np.int64)
+        self._rounds = 0
+        #: Cached calibration for the lossless fast path: traffic of
+        #: one full round plus its delivery order (computed once).
+        self._calibration: Optional[Tuple[List[Tuple[int, int]], TrafficAccountant]] = None
+
+        #: Common tick period of the synchronous schedule.
+        self.period = max(0.5 * (config.t1 + config.t2), MIN_MEAN_WAIT)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of page groups (the paper's K)."""
+        return self.config.n_groups
+
+    def group_ranks(self) -> List[np.ndarray]:
+        """Current per-group local rank vectors (views, group order)."""
+        return [self._r[self._slices[g]] for g in range(self.n_groups)]
+
+    def assemble_ranks(self) -> np.ndarray:
+        """Current global rank vector in original page order."""
+        return self.system.assemble(self.group_ranks())
+
+    def calibrated_round_traffic(self):
+        """Exact traffic of one lossless round as a snapshot at t=0.
+
+        This is the per-round quantity the engine adds to its main
+        accountant every round via
+        :meth:`~repro.net.bandwidth.TrafficAccountant.merge` — measured
+        once on the calibration replay, never by materializing real
+        score updates.
+        """
+        if self._calibration is None:
+            self._calibration = self._replay_round(self._pairs)
+            self._afferent = self._build_afferent(self._calibration[0])
+        return self._calibration[1].snapshot(0.0)
+
+    def paper_round_estimate(self) -> Dict[str, float]:
+        """Per-round traffic predicted by the paper's §4.4 formulas.
+
+        Evaluates :mod:`repro.analysis.cost_model` formulas 4.1–4.4
+        with this system's actual totals — W as the total cross-group
+        link records, h as the mean overlay hop count over the pairs
+        that actually exchange updates, g as the overlay's mean
+        neighbor count, and N as the ranker count — giving the
+        closed-form counterpart to :meth:`calibrated_round_traffic`
+        (the formulas assume all N² pairs communicate, so they are an
+        upper envelope of the measured totals on sparse cut graphs).
+        """
+        from repro.analysis.cost_model import (
+            direct_data_bytes,
+            direct_messages,
+            indirect_data_bytes,
+            indirect_messages,
+        )
+
+        k = self.config.n_groups
+        w = float(sum(p[4] for p in self._pairs))
+        hop_counts = [self.overlay.hops(g, h) for g, h, _, _, _ in self._pairs]
+        h_mean = float(np.mean(hop_counts)) if hop_counts else 0.0
+        if self.config.transport == "indirect":
+            return {
+                "data_messages": indirect_messages(
+                    k, self.overlay.mean_neighbor_count()
+                ),
+                "data_bytes": indirect_data_bytes(w, h_mean),
+            }
+        return {
+            "data_messages": direct_messages(k, h_mean),
+            "data_bytes": direct_data_bytes(w, h_mean, k),
+        }
+
+    # ------------------------------------------------------------------
+    def _replay_round(
+        self, pairs: List[Tuple[int, int, slice, np.ndarray, int]]
+    ) -> Tuple[List[Tuple[int, int]], TrafficAccountant]:
+        """Route one round's surviving sends through the real transport.
+
+        Returns the delivery order as (src, dst) in upcall sequence and
+        a scratch accountant holding the round's exact traffic.  The
+        replay uses empty-payload updates (byte accounting only reads
+        ``n_link_records``) on a fresh simulator, so it is O(pairs)
+        regardless of page count.
+        """
+        cfg = self.config
+        sim = Simulator()
+        acc = TrafficAccountant(cfg.n_groups)
+        kwargs = {}
+        if cfg.transport == "indirect":
+            kwargs["aggregation_delay"] = cfg.aggregation_delay
+        transport = build_transport(
+            cfg.transport,
+            sim,
+            self.overlay,
+            acc,
+            loss=NoLoss(),
+            latency=FixedLatency(cfg.hop_delay),
+            **kwargs,
+        )
+        order: List[Tuple[int, int]] = []
+        transport.attach(
+            lambda dst, update: order.append((update.src_group, dst))
+        )
+        i = 0
+        n = len(pairs)
+        while i < n:
+            g = pairs[i][0]
+            updates = []
+            while i < n and pairs[i][0] == g:
+                h, records = pairs[i][1], pairs[i][4]
+                updates.append(
+                    ScoreUpdate(
+                        src_group=g,
+                        dst_group=h,
+                        values=_EMPTY,
+                        n_link_records=records,
+                        generation=0,
+                    )
+                )
+                i += 1
+            transport.send_updates(g, updates)
+        sim.run()
+        return order, acc
+
+    def _build_afferent(self, order: List[Tuple[int, int]]) -> sp.csr_matrix:
+        """Assemble the 0/1 afferent matrix F with X = F·Y (lossless).
+
+        Row ``offsets[dst] + i`` holds one unit entry per source whose
+        efferent segment touches destination-local element ``i``, with
+        the entries *stored in the arrival order* of the calibration
+        replay.  scipy's CSR matvec kernel accumulates each row
+        sequentially over its stored entries, so F reproduces the
+        event engine's per-destination vector-add sequence scalar for
+        scalar (a stable sort by row preserves the arrival order the
+        column blocks were appended in).
+        """
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        for src, dst in order:
+            idx = self._pair_idx[(src, dst)]
+            csl = self._pair_cslice[(src, dst)]
+            rows_parts.append(self._offsets[dst] + idx)
+            cols_parts.append(
+                np.arange(csl.start, csl.start + idx.size, dtype=np.int64)
+            )
+        n_rows = self._x.size
+        if rows_parts:
+            rows = np.concatenate(rows_parts)
+            cols = np.concatenate(cols_parts)
+        else:
+            rows = np.empty(0, dtype=np.int64)
+            cols = np.empty(0, dtype=np.int64)
+        perm = np.argsort(rows, kind="stable")
+        rows, cols = rows[perm], cols[perm]
+        indptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(rows, minlength=n_rows))]
+        )
+        idx_dtype = np.int32 if self._y.size < 2**31 else np.int64
+        return sp.csr_matrix(
+            (
+                np.ones(cols.size, dtype=np.float64),
+                cols.astype(idx_dtype, copy=False),
+                indptr.astype(idx_dtype, copy=False),
+            ),
+            shape=(n_rows, self._y.size),
+        )
+
+    def _communicate(self) -> None:
+        """Apply loss, account the round's traffic, deliver the Y slices."""
+        if isinstance(self._loss, NoLoss):
+            if self._calibration is None:
+                self._calibration = self._replay_round(self._pairs)
+                self._afferent = self._build_afferent(self._calibration[0])
+            self.accountant.merge(self._calibration[1])
+            # Every source re-arrives, so the whole delivery + refresh
+            # is one SpMV in arrival order (see _build_afferent).
+            csr_matvec_into(self._afferent, self._y, self._x)
+            return
+
+        # One Bernoulli draw per pair in emission order — the same
+        # stream consumption as the event engine's transports.
+        survivors = []
+        for pair in self._pairs:
+            if self._loss.delivered(pair[0], pair[1]):
+                survivors.append(pair)
+            else:
+                self.dropped_updates += 1
+        order, acc = self._replay_round(survivors)
+        self.accountant.merge(acc)
+
+        by_pair = self._pair_cslice
+        for src, dst in order:
+            seg = self._y[by_pair[(src, dst)]]
+            held = self._latest[dst].get(src)
+            if held is None:
+                # First arrival: append (fixes this source's position
+                # in the destination's summation order for good).
+                self._latest[dst][src] = seg.copy()
+            else:
+                np.copyto(held, seg)
+            self._mail.add(dst)
+
+    def _compute(self) -> None:
+        """One outer loop for every group, as global vector kernels."""
+        cfg = self.config
+        # Refresh X (loss path only; lossless X was computed by the
+        # afferent SpMV): re-sum each mailed destination's newest
+        # compressed vectors in first-arrival order.  Scattering each
+        # source's nonzero elements through its index array performs
+        # the same elementwise additions as DPRNode._refresh's dense
+        # vector adds — the skipped elements only ever add +0.0.
+        for h in self._mail:
+            xh = self._x[self._slices[h]]
+            xh[:] = 0.0
+            for src, vec in self._latest[h].items():
+                xh[self._pair_idx[(src, h)]] += vec
+        self._mail = set()
+        # f = βE + X over the whole system (same elementwise add the
+        # nodes perform per group; a cached unchanged f re-adds to the
+        # same bits, so recomputing globally is safe).
+        np.add(self._beta_e, self._x, out=self._f)
+
+        if cfg.algorithm == "dpr2":
+            # One whole-system sweep: R ← A·R + f, fused with the
+            # per-group ‖ΔR‖₁ reductions over contiguous slices.
+            csr_matvec_into(self._a_all, self._r, self._ping)
+            np.add(self._ping, self._f, out=self._ping)
+            np.subtract(self._ping, self._r, out=self._scratch)
+            np.abs(self._scratch, out=self._scratch)
+            for g in range(cfg.n_groups):
+                sl = self._slices[g]
+                if sl.stop == sl.start:
+                    self._last_delta[g] = 0.0
+                    continue
+                self._last_delta[g] = float(self._scratch[sl].sum())
+                self._inner_sweeps[g] += 1
+            self._r, self._ping = self._ping, self._r
+        else:
+            for g in range(cfg.n_groups):
+                sl = self._slices[g]
+                if sl.stop == sl.start:
+                    self._last_delta[g] = 0.0
+                    continue
+                r_g = self._r[sl]
+                f_g = self._f[sl]
+                ws = self._workspaces[g]
+                if cfg.inner_solver == "gauss_seidel":
+                    from repro.linalg.acceleration import gauss_seidel_solve
+
+                    res = gauss_seidel_solve(
+                        self.system.diag(g), f_g, x0=r_g,
+                        tol=cfg.local_tol, max_iter=cfg.max_inner,
+                    )
+                else:
+                    res = jacobi_solve(
+                        self.system.diag(g), f_g, x0=r_g,
+                        tol=cfg.local_tol, max_iter=cfg.max_inner,
+                        workspace=ws,
+                    )
+                self._inner_sweeps[g] += res.iterations
+                sc = ws._scratch
+                np.subtract(res.x, r_g, out=sc)
+                np.abs(sc, out=sc)
+                self._last_delta[g] = float(sc.sum())
+                np.copyto(r_g, res.x)
+        self._rounds += 1
+
+    def _round(self) -> None:
+        """One bulk-synchronous round: compute, emit Y, communicate."""
+        self._compute()
+        csr_matvec_into(self._cut, self._r, self._y)
+        self._communicate()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_time: float = 1000.0,
+        target_relative_error: Optional[float] = None,
+        quiescence_delta: Optional[float] = None,
+        quiescence_samples: int = 3,
+    ) -> RunResult:
+        """Execute rounds until a stop condition; gather a RunResult.
+
+        Tick ``m`` runs at simulated time ``m × period`` (the exact
+        float sequence the event engine's fixed waits produce), and a
+        sample lands on every ``m``-th tick where
+        ``sample_interval = m × period`` (config validation guarantees
+        the whole-multiple ratio).  The sampling order replicates the
+        event engine's :class:`~repro.core.convergence.Monitor`, whose
+        sample at a tick always executes *before* that tick's ranker
+        wakes (its event was scheduled a full interval earlier, so it
+        carries the lower sequence number): the sample at tick ``m``
+        therefore observes the rounds completed *before* it, and when
+        it trips a stop condition the tick's round is never computed —
+        exactly as the event simulator halts before processing the
+        remaining same-time wakes.  The sample clock accumulates
+        ``sample_interval`` separately from the tick clock (mirroring
+        the monitor's relative rescheduling) so trace timestamps are
+        bit-identical too.  Stop conditions mirror the monitor: target
+        relative error, quiescence (every group's last step delta at
+        or below ``quiescence_delta`` for ``quiescence_samples``
+        consecutive samples), or ``max_time``.
+        """
+        cfg = self.config
+        trace = ConvergenceTrace()
+        converged = False
+        target_time: Optional[float] = None
+        quiescent = False
+        quiescence_time: Optional[float] = None
+        quiet_streak = 0
+
+        def sample(t: float) -> None:
+            nonlocal converged, target_time, quiescent, quiescence_time, quiet_streak
+            ranks = self.assemble_ranks()
+            err = relative_l1_error(ranks, self.reference)
+            trace.times.append(t)
+            trace.relative_errors.append(err)
+            trace.mean_ranks.append(float(ranks.mean()) if ranks.size else 0.0)
+            trace.max_outer_iterations.append(self._rounds)
+            trace.mean_outer_iterations.append(float(self._rounds))
+            snap = self.accountant.snapshot(t)
+            trace.total_messages.append(snap.total_messages)
+            trace.total_bytes.append(snap.total_bytes)
+            if (
+                target_relative_error is not None
+                and err <= target_relative_error
+                and not converged
+            ):
+                converged = True
+                target_time = t
+            if quiescence_delta is not None and not quiescent:
+                quiet = self._rounds > 0 and bool(
+                    (self._last_delta <= quiescence_delta).all()
+                )
+                quiet_streak = quiet_streak + 1 if quiet else 0
+                if quiet_streak >= quiescence_samples:
+                    quiescent = True
+                    quiescence_time = t
+
+        interval = float(cfg.sample_interval)
+        every = int(round(interval / self.period))
+
+        sample(0.0)
+        t = 0.0  # tick clock: accumulates the period like ranker waits
+        t_s = 0.0  # sample clock: accumulates the monitor's interval
+        k = 0
+        while not converged and not quiescent:
+            t_next = t + self.period
+            if t_next > max_time:
+                t = float(max_time)
+                break
+            t = t_next
+            k += 1
+            if k % every == 0:
+                t_s = t_s + interval
+                if t_s != t:
+                    raise ValueError(
+                        f"sample clock drifted from the tick clock "
+                        f"({t_s!r} vs {t!r}): sample_interval and the "
+                        "period accumulate differently in float "
+                        "arithmetic; pick exactly representable values"
+                    )
+                sample(t_s)
+                if converged or quiescent:
+                    break
+            self._round()
+
+        return assemble_run_result(
+            ranks=self.assemble_ranks(),
+            reference=self.reference,
+            trace=trace,
+            converged=converged,
+            time_to_target=target_time,
+            outer_iterations=np.full(cfg.n_groups, self._rounds, dtype=np.int64),
+            inner_sweeps=self._inner_sweeps.copy(),
+            accountant=self.accountant,
+            now=t,
+            dropped_updates=self.dropped_updates,
+            quiescent=quiescent,
+            quiescence_time=quiescence_time,
+            config=cfg,
+        )

@@ -54,6 +54,11 @@ class PageRanker:
         Seeds the ranker's private exponential-wait stream.
     suppress_tol:
         Delta-suppression threshold (0 disables; see module docs).
+    fixed_wait:
+        When True, every wait is exactly ``mean_wait`` instead of an
+        exponential draw — the *synchronous schedule* used to verify
+        the flat execution engine against the event engine (all
+        rankers tick in lockstep; see :mod:`repro.core.engine`).
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class PageRanker:
         mean_wait: float = 1.0,
         seed: RngLike = 0,
         suppress_tol: float = 0.0,
+        fixed_wait: bool = False,
     ):
         self.sim = sim
         self.node = node
@@ -73,6 +79,7 @@ class PageRanker:
         self.transport = transport
         self.mean_wait = max(check_non_negative(mean_wait, "mean_wait"), MIN_MEAN_WAIT)
         self.suppress_tol = check_non_negative(suppress_tol, "suppress_tol")
+        self.fixed_wait = bool(fixed_wait)
         self._rng = as_generator(seed)
         self.paused = False
         #: Permanent failure (§4.2's "shutdown"): a crashed ranker's
@@ -117,6 +124,8 @@ class PageRanker:
 
     # ------------------------------------------------------------------
     def _draw_wait(self) -> float:
+        if self.fixed_wait:
+            return self.mean_wait
         return float(self._rng.exponential(self.mean_wait))
 
     def _on_wake(self) -> None:

@@ -107,11 +107,16 @@ def run_fig6(
     seed: int = 7,
     algorithm: str = "dpr1",
     configs: Dict[str, Tuple[float, float, float]] = None,
+    engine: str = "event",
+    schedule: str = "async",
 ) -> Fig6Result:
     """Run the Fig 6 experiment; see module docstring.
 
     Each labelled configuration is an independent simulation on the
     same graph/partition against the same centralized reference.
+    ``engine="flat"`` runs the vectorized bulk-synchronous engine
+    (much faster at scale; synchronous timing instead of the paper's
+    exponential waits).
     """
     if graph is None:
         graph = default_graph(scale)
@@ -129,8 +134,12 @@ def run_fig6(
             t1=t1,
             t2=t2,
             seed=seed,
-            sample_interval=1.0,
+            # Flat engine: None resolves to the sync period (its trace
+            # is per-round; finer sampling is event-engine only).
+            sample_interval=1.0 if engine == "event" else None,
             reference=reference,
             max_time=max_time,
+            engine=engine,
+            schedule=schedule,
         )
     return result

@@ -88,8 +88,13 @@ def run_fig7(
     scale: ExperimentScale = ExperimentScale(),
     seed: int = 11,
     configs: Dict[str, Tuple[float, float, float]] = None,
+    engine: str = "event",
+    schedule: str = "async",
 ) -> Fig7Result:
-    """Run the Fig 7 experiment (DPR1 monotonicity; K=100 as published)."""
+    """Run the Fig 7 experiment (DPR1 monotonicity; K=100 as published).
+
+    ``engine="flat"`` selects the vectorized bulk-synchronous engine.
+    """
     if graph is None:
         graph = default_graph(scale)
     if configs is None:
@@ -106,9 +111,13 @@ def run_fig7(
             t1=t1,
             t2=t2,
             seed=seed,
-            sample_interval=1.0,
+            # Flat engine: None resolves to the sync period (its trace
+            # is per-round; finer sampling is event-engine only).
+            sample_interval=1.0 if engine == "event" else None,
             reference=reference,
             max_time=max_time,
+            engine=engine,
+            schedule=schedule,
         )
         result.results[label] = res
         result.monotone[label] = is_monotone_nondecreasing(

@@ -89,8 +89,15 @@ def run_fig8(
     max_time: float = 4000.0,
     scale: ExperimentScale = ExperimentScale(),
     seed: int = 13,
+    engine: str = "event",
+    schedule: str = "async",
 ) -> Fig8Result:
-    """Run the Fig 8 sweep; see module docstring."""
+    """Run the Fig 8 sweep; see module docstring.
+
+    ``engine="flat"`` (with ``schedule="sync"``) selects the
+    vectorized bulk-synchronous engine, which makes the large-K
+    points of the sweep dramatically cheaper.
+    """
     if graph is None:
         graph = default_graph(scale)
     reference = pagerank_open(graph).ranks
@@ -108,10 +115,14 @@ def run_fig8(
                 t1=wait_mean,
                 t2=wait_mean,
                 seed=seed,
-                sample_interval=wait_mean / 3.0,
+                # Flat engine: None resolves to the sync period (its
+                # trace is per-round; finer sampling is event-only).
+                sample_interval=wait_mean / 3.0 if engine == "event" else None,
                 reference=reference,
                 max_time=max_time,
                 target_relative_error=threshold,
+                engine=engine,
+                schedule=schedule,
             )
             result.iterations[algorithm][int(k)] = (
                 int(round(res.trace.mean_outer_iterations[-1]))

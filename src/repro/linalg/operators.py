@@ -160,6 +160,16 @@ class GroupBlocks:
         """Allocate an output buffer suitable for :meth:`efferent_into`."""
         return np.zeros(self.efferent_rows(g), dtype=np.float64)
 
+    def efferent_operator(self, g: int) -> sp.csr_matrix:
+        """Group ``g``'s stacked efferent operator (read-only).
+
+        The vertical stack of ``cross[(g, h)]`` for ``h`` in
+        :meth:`destinations_of` order; row slices are the rows of the
+        original blocks.  The flat execution engine block-diagonalizes
+        these into one whole-system cut matrix.
+        """
+        return self._efferent_op[g]
+
     def efferent(self, g: int, r: np.ndarray) -> Dict[int, np.ndarray]:
         """Efferent contributions ``Y`` of group ``g`` given its rank ``r``.
 

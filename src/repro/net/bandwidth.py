@@ -111,6 +111,30 @@ class TrafficAccountant:
         self.bytes_out[src] += n_bytes
         self.bytes_in[dst] += n_bytes
 
+    def merge(self, other: "TrafficAccountant") -> None:
+        """Accumulate another accountant's counters into this one.
+
+        This is the single reporting path shared by both execution
+        engines: the event engine records message-by-message, while the
+        synchronous engine records one *calibration round* into a
+        scratch accountant and merges it once per round — so both
+        engines' :class:`TrafficSnapshot` totals come out of identical
+        counter arithmetic.
+        """
+        if other.n_nodes != self.n_nodes:
+            raise ValueError(
+                f"cannot merge accountant for {other.n_nodes} nodes into "
+                f"one for {self.n_nodes}"
+            )
+        self.data_messages += other.data_messages
+        self.data_bytes += other.data_bytes
+        self.lookup_messages += other.lookup_messages
+        self.lookup_bytes += other.lookup_bytes
+        self.ack_messages += other.ack_messages
+        self.ack_bytes += other.ack_bytes
+        self.bytes_out += other.bytes_out
+        self.bytes_in += other.bytes_in
+
     # ------------------------------------------------------------------
     def snapshot(self, time: float) -> TrafficSnapshot:
         """Copy the counters, stamped with the simulated time."""

@@ -13,6 +13,12 @@ cross blocks of :class:`~repro.linalg.operators.GroupBlocks` — but the
 accounting charges them by the number of underlying link records
 (``n_link_records × LINK_RECORD_BYTES``), exactly as the paper's byte
 model does.
+
+All message classes are ``slots=True`` dataclasses: an event-driven
+run materializes one :class:`ScoreUpdate` per (src, dst) pair per
+outer loop, so the per-instance ``__dict__`` is measurable overhead at
+scale (and attribute typos fail loudly instead of silently growing the
+instance).
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ PACKAGE_HEADER_BYTES = 20
 ACK_MESSAGE_BYTES = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class ScoreUpdate:
     """Afferent rank contribution from one group to another.
 
@@ -103,7 +109,7 @@ class ScoreUpdate:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Package:
     """A physical message between overlay neighbors (indirect mode).
 
@@ -125,7 +131,7 @@ class Package:
         return len(self.updates)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ack:
     """Receiver-side acknowledgement of one sequenced score update.
 
@@ -145,7 +151,7 @@ class Ack:
         return ACK_MESSAGE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupCost:
     """Accounting record of one DHT lookup (direct mode).
 

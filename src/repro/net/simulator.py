@@ -11,6 +11,13 @@ The engine is intentionally callback-based rather than
 coroutine-based: the hot path of an experiment is dominated by the
 numpy kernels inside the callbacks, and a plain heap keeps the
 scheduling overhead negligible and the control flow easy to audit.
+
+Heap representation: entries are plain ``(time, seq, event)`` tuples,
+so heap sifting compares native floats/ints directly instead of going
+through ``@dataclass(order=True)``'s generated ``__lt__`` (which
+builds a comparison tuple per call).  ``_Event`` itself is a slotted
+record carrying only the callback, its arguments, and the
+cancellation flag.
 """
 
 from __future__ import annotations
@@ -18,19 +25,21 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "EventHandle"]
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    """Mutable payload of one heap entry (see module docs)."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
 
 
 class EventHandle:
@@ -71,7 +80,7 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: List[_Event] = []
+        self._heap: List[Tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         self.events_executed: int = 0
 
@@ -92,18 +101,18 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past (now={self.now}, requested={time})"
             )
-        ev = _Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
-        heapq.heappush(self._heap, ev)
+        ev = _Event(float(time), callback, args)
+        heapq.heappush(self._heap, (ev.time, next(self._seq), ev))
         return EventHandle(ev)
 
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, if any."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
 
     def step(self) -> bool:
@@ -111,8 +120,8 @@ class Simulator:
         self._drop_cancelled()
         if not self._heap:
             return False
-        ev = heapq.heappop(self._heap)
-        self.now = ev.time
+        time, _, ev = heapq.heappop(self._heap)
+        self.now = time
         self.events_executed += 1
         ev.callback(*ev.args)
         return True
@@ -151,7 +160,7 @@ class Simulator:
                 if until is not None and self.now < until:
                     self.now = float(until)
                 break
-            if until is not None and self._heap[0].time > until:
+            if until is not None and self._heap[0][0] > until:
                 self.now = float(until)
                 break
             if max_events is not None and executed >= max_events:
@@ -164,4 +173,4 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
