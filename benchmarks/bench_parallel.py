@@ -1,0 +1,161 @@
+"""Bench: parallel experiment harness + artifact cache, wall-clock.
+
+Runs the full reproduction suite at a 1000-page scale three ways —
+serial (``jobs=1``), across a 4-worker process pool with a cold
+artifact cache, and again over the now-warm cache — asserting the
+formatted report sections are byte-identical in all three, then
+records the wall-clock story in ``BENCH_parallel.json``.
+
+Two speedup numbers are reported, deliberately:
+
+* ``measured_speedup`` — serial wall over 4-worker cold wall, exactly
+  as observed.  On a single-core runner this hovers near 1.0 (there is
+  nothing to parallelize onto), so it only gates CI when the host has
+  at least :data:`GATE_MIN_CPUS` cores.
+* ``schedule_speedup`` — the suite's task seconds scheduled onto 4
+  workers by LPT (longest-processing-time first), from the *measured*
+  per-task durations of the serial run.  This is the parallelism the
+  task decomposition itself exposes — bounded by the largest single
+  task and by Amdahl on the task bag — and is host-independent, so it
+  always gates.
+
+The warm-cache gate always applies: a rerun against the populated
+cache must be at least ``GATE_MIN_WARM_SPEEDUP``× faster than the cold
+run, because every sweep point, the graph, and the reference vectors
+come back from content-addressed storage instead of being recomputed.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments.report import run_all
+from repro.experiments.workloads import ExperimentScale
+from repro.parallel.cache import ArtifactCache
+
+import pytest
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+
+JOBS = 4
+
+#: CI gate: minimum LPT-schedule speedup of the task decomposition.
+GATE_MIN_SCHEDULE_SPEEDUP = 2.5
+
+#: CI gate: minimum warm-over-cold cache speedup.
+GATE_MIN_WARM_SPEEDUP = 3.0
+
+#: The measured multi-core gate only applies on hosts with this many
+#: cores (a 1-core runner cannot show a wall-clock win).
+GATE_MIN_CPUS = 4
+GATE_MIN_MEASURED_SPEEDUP = 2.5
+
+SCALE = ExperimentScale(n_pages=1_000, n_sites=100, seed=2003)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_parallel.json once the bench has run."""
+    yield
+    if not _RESULTS:
+        return
+    BENCH_JSON.write_text(json.dumps(_RESULTS, indent=2) + "\n")
+
+
+def _lpt_makespan(durations, workers):
+    """Makespan of an LPT schedule of ``durations`` onto ``workers``."""
+    loads = [0.0] * workers
+    for d in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += d
+    return max(loads)
+
+
+def test_parallel_harness_speedups(tmp_path):
+    serial_t0 = time.perf_counter()
+    serial = run_all(scale=SCALE, jobs=1)
+    serial_wall = time.perf_counter() - serial_t0
+
+    cold_cache = ArtifactCache(tmp_path / "cache")
+    cold_t0 = time.perf_counter()
+    cold = run_all(scale=SCALE, jobs=JOBS, cache=cold_cache)
+    cold_wall = time.perf_counter() - cold_t0
+
+    warm_cache = ArtifactCache(tmp_path / "cache")
+    warm_t0 = time.perf_counter()
+    warm = run_all(scale=SCALE, jobs=JOBS, cache=warm_cache)
+    warm_wall = time.perf_counter() - warm_t0
+
+    # Bit-identity across execution modes is the harness's contract;
+    # the speedups are meaningless without it.
+    assert cold.sections == serial.sections
+    assert warm.sections == serial.sections
+    assert warm_cache.misses == 0 and warm_cache.hits > 0
+
+    task_seconds = [d for ds in serial.task_durations.values() for d in ds]
+    total = sum(task_seconds)
+    makespan = _lpt_makespan(task_seconds, JOBS)
+    schedule_speedup = total / max(makespan, 1e-9)
+    measured_speedup = serial_wall / max(cold_wall, 1e-9)
+    warm_speedup = cold_wall / max(warm_wall, 1e-9)
+    host_cpus = os.cpu_count() or 1
+
+    _RESULTS.update(
+        {
+            "bench": "parallel",
+            "scale": {
+                "n_pages": SCALE.n_pages,
+                "n_sites": SCALE.n_sites,
+                "seed": SCALE.seed,
+            },
+            "jobs": JOBS,
+            "host_cpus": host_cpus,
+            "serial_wall_s": round(serial_wall, 3),
+            "parallel_cold_wall_s": round(cold_wall, 3),
+            "parallel_warm_wall_s": round(warm_wall, 3),
+            "measured_speedup": round(measured_speedup, 2),
+            "measured_gate_applies": host_cpus >= GATE_MIN_CPUS,
+            "warm_cache_speedup": round(warm_speedup, 2),
+            "schedule_speedup": round(schedule_speedup, 2),
+            "n_tasks": len(task_seconds),
+            "task_seconds_total": round(total, 3),
+            "largest_task_s": round(max(task_seconds), 3),
+            "sections_identical": True,
+            # Parent-process counters only: graph + reference lookups.
+            # Sweep-point hits/stores happen inside pool workers, whose
+            # ArtifactCache instances are separate.
+            "cache_counters_note": "parent process only",
+            "cold_cache": {
+                "hits": cold_cache.hits,
+                "misses": cold_cache.misses,
+                "stores": cold_cache.stores,
+            },
+            "warm_cache": {
+                "hits": warm_cache.hits,
+                "misses": warm_cache.misses,
+                "stores": warm_cache.stores,
+            },
+            "gates": {
+                "schedule_speedup_min": GATE_MIN_SCHEDULE_SPEEDUP,
+                "warm_speedup_min": GATE_MIN_WARM_SPEEDUP,
+                "measured_speedup_min": GATE_MIN_MEASURED_SPEEDUP,
+                "measured_gate_min_cpus": GATE_MIN_CPUS,
+            },
+        }
+    )
+
+    assert schedule_speedup >= GATE_MIN_SCHEDULE_SPEEDUP, (
+        f"task decomposition exposes only {schedule_speedup:.2f}x parallelism "
+        f"at {JOBS} workers (gate {GATE_MIN_SCHEDULE_SPEEDUP}x)"
+    )
+    assert warm_speedup >= GATE_MIN_WARM_SPEEDUP, (
+        f"warm-cache rerun only {warm_speedup:.2f}x faster than cold "
+        f"(gate {GATE_MIN_WARM_SPEEDUP}x)"
+    )
+    if host_cpus >= GATE_MIN_CPUS:
+        assert measured_speedup >= GATE_MIN_MEASURED_SPEEDUP, (
+            f"measured {JOBS}-worker speedup {measured_speedup:.2f}x fell below "
+            f"the {GATE_MIN_MEASURED_SPEEDUP}x gate on a {host_cpus}-core host"
+        )

@@ -202,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated experiment names (default: all)",
     )
     p_all.add_argument("--out", default=None, help="directory for result tables")
+    p_all.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the sweep (1 = serial; results are "
+        "bit-identical for every value)",
+    )
+    p_all.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory for graphs, reference vectors and "
+        "sweep-point results (default: $REPRO_CACHE_DIR if set, else no "
+        "caching)",
+    )
 
     return parser
 
@@ -341,11 +352,17 @@ def cmd_summary(args) -> int:
 def cmd_all(args) -> int:
     """Run every experiment and print/write the combined report."""
     from repro.experiments import ExperimentScale, run_all
+    from repro.parallel.cache import ArtifactCache, cache_from_env
 
     scale = ExperimentScale(
         n_pages=args.pages, n_sites=min(args.sites, args.pages), seed=args.seed
     )
-    report = run_all(scale=scale, only=args.only, out_dir=args.out)
+    cache = (
+        ArtifactCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    )
+    report = run_all(
+        scale=scale, only=args.only, out_dir=args.out, jobs=args.jobs, cache=cache
+    )
     print(report.format())
     return 0
 

@@ -26,25 +26,31 @@ from repro.analysis.cost_model import (
 )
 from repro.analysis.reporting import format_table
 from repro.core.coordinator import RunResult, run_distributed_pagerank
-from repro.core.pagerank import pagerank_open
-from repro.experiments.workloads import ExperimentScale, default_graph
+from repro.experiments.workloads import ExperimentScale, default_graph, reference_ranks
 from repro.graph.partition import make_partition
 from repro.graph.stats import partition_cut_statistics
 from repro.graph.webgraph import WebGraph
 from repro.overlay import build_overlay
 from repro.overlay.metrics import hop_statistics, neighbor_statistics
+from repro.parallel.cache import array_fingerprint, cached_point
 
 __all__ = [
     "PartitioningResult",
     "run_partitioning_ablation",
+    "partitioning_point",
     "TransportResult",
     "run_transport_comparison",
+    "transport_point",
+    "transport_overlay_stats",
     "CompressionResult",
     "run_compression_ablation",
+    "compression_point",
     "OverlayHopsResult",
     "run_overlay_hops",
+    "overlay_hops_point",
     "TradeoffResult",
     "run_time_vs_bandwidth",
+    "tradeoff_point",
 ]
 
 
@@ -80,24 +86,22 @@ class PartitioningResult:
         )
 
 
-def run_partitioning_ablation(
-    graph: WebGraph = None,
+def partitioning_point(
+    graph: WebGraph,
+    reference,
     *,
-    n_groups: int = 16,
-    strategies: Sequence[str] = ("random", "url", "site"),
-    scale: ExperimentScale = ExperimentScale(),
-    seed: int = 19,
-    measure_traffic: bool = True,
-    max_time: float = 400.0,
-) -> PartitioningResult:
-    """Compare partitioning strategies by cut size and real traffic."""
-    if graph is None:
-        graph = default_graph(scale)
-    reference = pagerank_open(graph).ranks
-    result = PartitioningResult(n_groups=n_groups)
-    for strategy in strategies:
+    strategy: str,
+    n_groups: int,
+    seed: int,
+    measure_traffic: bool,
+    max_time: float,
+):
+    """One strategy's cut statistics and (optionally) run traffic."""
+
+    def compute():
         part = make_partition(graph, n_groups, strategy, seed=seed)
-        result.cut_stats[strategy] = partition_cut_statistics(graph, part).as_dict()
+        cut_stats = partition_cut_statistics(graph, part).as_dict()
+        run_bytes = None
         if measure_traffic:
             res = run_distributed_pagerank(
                 graph,
@@ -112,7 +116,52 @@ def run_partitioning_ablation(
                 target_relative_error=1e-4,
                 max_time=max_time,
             )
-            result.run_bytes[strategy] = res.traffic.total_bytes
+            run_bytes = res.traffic.total_bytes
+        return cut_stats, run_bytes
+
+    return cached_point(
+        "point/partitioning",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "strategy": strategy,
+            "n_groups": n_groups,
+            "seed": seed,
+            "measure_traffic": measure_traffic,
+            "max_time": max_time,
+        },
+        compute,
+    )
+
+
+def run_partitioning_ablation(
+    graph: WebGraph = None,
+    *,
+    n_groups: int = 16,
+    strategies: Sequence[str] = ("random", "url", "site"),
+    scale: ExperimentScale = ExperimentScale(),
+    seed: int = 19,
+    measure_traffic: bool = True,
+    max_time: float = 400.0,
+) -> PartitioningResult:
+    """Compare partitioning strategies by cut size and real traffic."""
+    if graph is None:
+        graph = default_graph(scale)
+    reference = reference_ranks(graph)
+    result = PartitioningResult(n_groups=n_groups)
+    for strategy in strategies:
+        cut_stats, run_bytes = partitioning_point(
+            graph,
+            reference,
+            strategy=strategy,
+            n_groups=n_groups,
+            seed=seed,
+            measure_traffic=measure_traffic,
+            max_time=max_time,
+        )
+        result.cut_stats[strategy] = cut_stats
+        if run_bytes is not None:
+            result.run_bytes[strategy] = run_bytes
     return result
 
 
@@ -166,6 +215,63 @@ class TransportResult:
         )
 
 
+def transport_overlay_stats(n_groups: int, seed: int) -> Tuple[float, float]:
+    """(mean hops, mean neighbors) of the N-ranker Pastry overlay."""
+
+    def compute():
+        overlay = build_overlay("pastry", n_groups, seed=seed)
+        return (
+            hop_statistics(overlay, 300, seed=seed).mean,
+            neighbor_statistics(overlay)["mean"],
+        )
+
+    return cached_point(
+        "point/transport_stats",
+        {"overlay": "pastry", "n_groups": n_groups, "seed": seed, "samples": 300},
+        compute,
+    )
+
+
+def transport_point(
+    graph: WebGraph,
+    reference,
+    *,
+    kind: str,
+    n_groups: int,
+    seed: int,
+    max_time: float,
+) -> RunResult:
+    """One transport's end-to-end convergence run."""
+
+    def compute() -> RunResult:
+        return run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            transport=kind,
+            algorithm="dpr1",
+            partition_strategy="url",
+            t1=3.0,
+            t2=3.0,
+            seed=seed,
+            reference=reference,
+            target_relative_error=1e-4,
+            max_time=max_time,
+        )
+
+    return cached_point(
+        "point/transport",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "kind": kind,
+            "n_groups": n_groups,
+            "seed": seed,
+            "max_time": max_time,
+        },
+        compute,
+    )
+
+
 def run_transport_comparison(
     graph: WebGraph = None,
     *,
@@ -177,25 +283,20 @@ def run_transport_comparison(
     """Run DPR1 to convergence over both transports; report traffic."""
     if graph is None:
         graph = default_graph(scale)
-    reference = pagerank_open(graph).ranks
-    overlay = build_overlay("pastry", n_groups, seed=seed)
+    reference = reference_ranks(graph)
+    hops, neighbors = transport_overlay_stats(n_groups, seed)
     result = TransportResult(
         n_groups=n_groups,
-        overlay_hops=hop_statistics(overlay, 300, seed=seed).mean,
-        overlay_neighbors=neighbor_statistics(overlay)["mean"],
+        overlay_hops=hops,
+        overlay_neighbors=neighbors,
     )
     for kind in ("indirect", "direct"):
-        result.runs[kind] = run_distributed_pagerank(
+        result.runs[kind] = transport_point(
             graph,
+            reference,
+            kind=kind,
             n_groups=n_groups,
-            transport=kind,
-            algorithm="dpr1",
-            partition_strategy="url",
-            t1=3.0,
-            t2=3.0,
             seed=seed,
-            reference=reference,
-            target_relative_error=1e-4,
             max_time=max_time,
         )
     return result
@@ -228,21 +329,18 @@ class CompressionResult:
         )
 
 
-def run_compression_ablation(
-    graph: WebGraph = None,
+def compression_point(
+    graph: WebGraph,
+    reference,
     *,
-    n_groups: int = 16,
-    thresholds: Sequence[float] = (0.0, 1e-8, 1e-4, 1e-2),
-    scale: ExperimentScale = ExperimentScale(),
-    seed: int = 29,
-    max_time: float = 120.0,
-) -> CompressionResult:
-    """Sweep the delta-suppression threshold; measure traffic vs error."""
-    if graph is None:
-        graph = default_graph(scale)
-    reference = pagerank_open(graph).ranks
-    result = CompressionResult()
-    for tol in thresholds:
+    tol: float,
+    n_groups: int,
+    seed: int,
+    max_time: float,
+) -> Tuple[int, int, float]:
+    """One suppression threshold: (bytes, messages, final rel error)."""
+
+    def compute() -> Tuple[int, int, float]:
         res = run_distributed_pagerank(
             graph,
             n_groups=n_groups,
@@ -255,10 +353,53 @@ def run_compression_ablation(
             reference=reference,
             max_time=max_time,
         )
+        return (
+            res.traffic.total_bytes,
+            res.traffic.total_messages,
+            res.final_relative_error,
+        )
+
+    return cached_point(
+        "point/compression",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "tol": float(tol),
+            "n_groups": n_groups,
+            "seed": seed,
+            "max_time": max_time,
+        },
+        compute,
+    )
+
+
+def run_compression_ablation(
+    graph: WebGraph = None,
+    *,
+    n_groups: int = 16,
+    thresholds: Sequence[float] = (0.0, 1e-8, 1e-4, 1e-2),
+    scale: ExperimentScale = ExperimentScale(),
+    seed: int = 29,
+    max_time: float = 120.0,
+) -> CompressionResult:
+    """Sweep the delta-suppression threshold; measure traffic vs error."""
+    if graph is None:
+        graph = default_graph(scale)
+    reference = reference_ranks(graph)
+    result = CompressionResult()
+    for tol in thresholds:
+        bytes_used, messages, final_error = compression_point(
+            graph,
+            reference,
+            tol=float(tol),
+            n_groups=n_groups,
+            seed=seed,
+            max_time=max_time,
+        )
         result.thresholds.append(float(tol))
-        result.bytes_used.append(res.traffic.total_bytes)
-        result.messages.append(res.traffic.total_messages)
-        result.final_errors.append(res.final_relative_error)
+        result.bytes_used.append(bytes_used)
+        result.messages.append(messages)
+        result.final_errors.append(final_error)
     return result
 
 
@@ -294,6 +435,54 @@ class TradeoffResult:
         )
 
 
+def tradeoff_point(
+    graph: WebGraph,
+    reference,
+    *,
+    t: float,
+    n_groups: int,
+    seed: int,
+    target: float,
+    max_time: float,
+) -> Tuple[float, float, int, float]:
+    """One iteration interval T: (T, time to target, bytes, rate)."""
+
+    def compute() -> Tuple[float, float, int, float]:
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            algorithm="dpr1",
+            partition_strategy="site",
+            t1=float(t),
+            t2=float(t),
+            seed=seed,
+            reference=reference,
+            target_relative_error=target,
+            max_time=max_time,
+        )
+        duration = res.time_to_target if res.converged else max_time
+        return (
+            float(t),
+            float(duration),
+            res.traffic.total_bytes,
+            res.traffic.total_bytes / max(duration, 1e-9),
+        )
+
+    return cached_point(
+        "point/tradeoff",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "t": float(t),
+            "n_groups": n_groups,
+            "seed": seed,
+            "target": target,
+            "max_time": max_time,
+        },
+        compute,
+    )
+
+
 def run_time_vs_bandwidth(
     graph: WebGraph = None,
     *,
@@ -315,28 +504,22 @@ def run_time_vs_bandwidth(
     """
     if graph is None:
         graph = default_graph(scale)
-    reference = pagerank_open(graph, tol=1e-12).ranks
+    reference = reference_ranks(graph, tol=1e-12)
     result = TradeoffResult()
     for t in wait_means:
-        res = run_distributed_pagerank(
+        wait, duration, bytes_total, rate = tradeoff_point(
             graph,
+            reference,
+            t=float(t),
             n_groups=n_groups,
-            algorithm="dpr1",
-            partition_strategy="site",
-            t1=float(t),
-            t2=float(t),
             seed=seed,
-            reference=reference,
-            target_relative_error=target,
+            target=target,
             max_time=max_time,
         )
-        duration = res.time_to_target if res.converged else max_time
-        result.wait_means.append(float(t))
-        result.times_to_target.append(float(duration))
-        result.bytes_total.append(res.traffic.total_bytes)
-        result.bytes_per_time_unit.append(
-            res.traffic.total_bytes / max(duration, 1e-9)
-        )
+        result.wait_means.append(wait)
+        result.times_to_target.append(duration)
+        result.bytes_total.append(bytes_total)
+        result.bytes_per_time_unit.append(rate)
     return result
 
 
@@ -362,6 +545,24 @@ class OverlayHopsResult:
         )
 
 
+def overlay_hops_point(
+    kind: str, n: int, *, samples: int, seed: int
+) -> Tuple[str, int, float, float, float]:
+    """One (overlay kind, size) row of the hop/neighbor table."""
+
+    def compute() -> Tuple[str, int, float, float, float]:
+        overlay = build_overlay(kind, int(n), seed=seed)
+        hs = hop_statistics(overlay, samples, seed=seed)
+        ns_stats = neighbor_statistics(overlay, max_nodes=500, seed=seed)
+        return (kind, int(n), hs.mean, hs.p95, ns_stats["mean"])
+
+    return cached_point(
+        "point/overlay_hops",
+        {"kind": kind, "n": int(n), "samples": samples, "seed": seed},
+        compute,
+    )
+
+
 def run_overlay_hops(
     *,
     kinds: Sequence[str] = ("pastry", "tapestry", "chord", "can"),
@@ -373,10 +574,7 @@ def run_overlay_hops(
     result = OverlayHopsResult()
     for kind in kinds:
         for n in ns:
-            overlay = build_overlay(kind, int(n), seed=seed)
-            hs = hop_statistics(overlay, samples, seed=seed)
-            ns_stats = neighbor_statistics(overlay, max_nodes=500, seed=seed)
             result.rows_data.append(
-                (kind, int(n), hs.mean, hs.p95, ns_stats["mean"])
+                overlay_hops_point(kind, int(n), samples=samples, seed=seed)
             )
     return result

@@ -20,11 +20,16 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.reporting import format_series, format_table
 from repro.core.coordinator import RunResult, run_distributed_pagerank
-from repro.core.pagerank import pagerank_open
-from repro.experiments.workloads import DEFAULT_CONFIGS, ExperimentScale, default_graph
+from repro.experiments.workloads import (
+    DEFAULT_CONFIGS,
+    ExperimentScale,
+    default_graph,
+    reference_ranks,
+)
 from repro.graph.webgraph import WebGraph
+from repro.parallel.cache import array_fingerprint, cached_point
 
-__all__ = ["Fig6Result", "run_fig6"]
+__all__ = ["Fig6Result", "run_fig6", "fig6_point"]
 
 
 @dataclass
@@ -98,6 +103,65 @@ class Fig6Result:
         return "\n\n".join(parts)
 
 
+def fig6_point(
+    graph: WebGraph,
+    reference,
+    *,
+    p: float,
+    t1: float,
+    t2: float,
+    n_groups: int,
+    max_time: float,
+    seed: int,
+    algorithm: str,
+    engine: str,
+    schedule: str,
+) -> RunResult:
+    """One Fig 6 configuration: a single independent seeded run.
+
+    This is the sweep-point unit the parallel harness distributes;
+    :func:`run_fig6` executes the same points serially.  Results are
+    memoized through the active artifact cache.
+    """
+
+    def compute() -> RunResult:
+        return run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            algorithm=algorithm,
+            partition_strategy="url",
+            delivery_prob=p,
+            t1=t1,
+            t2=t2,
+            seed=seed,
+            # Flat engine: None resolves to the sync period (its trace
+            # is per-round; finer sampling is event-engine only).
+            sample_interval=1.0 if engine == "event" else None,
+            reference=reference,
+            max_time=max_time,
+            engine=engine,
+            schedule=schedule,
+        )
+
+    return cached_point(
+        "point/fig6",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "p": p,
+            "t1": t1,
+            "t2": t2,
+            "n_groups": n_groups,
+            "max_time": max_time,
+            "seed": seed,
+            "algorithm": algorithm,
+            "engine": engine,
+            "schedule": schedule,
+        },
+        compute,
+    )
+
+
 def run_fig6(
     graph: WebGraph = None,
     *,
@@ -122,23 +186,19 @@ def run_fig6(
         graph = default_graph(scale)
     if configs is None:
         configs = DEFAULT_CONFIGS
-    reference = pagerank_open(graph).ranks
+    reference = reference_ranks(graph)
     result = Fig6Result(n_groups=n_groups)
     for label, (p, t1, t2) in configs.items():
-        result.results[label] = run_distributed_pagerank(
+        result.results[label] = fig6_point(
             graph,
-            n_groups=n_groups,
-            algorithm=algorithm,
-            partition_strategy="url",
-            delivery_prob=p,
+            reference,
+            p=p,
             t1=t1,
             t2=t2,
-            seed=seed,
-            # Flat engine: None resolves to the sync period (its trace
-            # is per-round; finer sampling is event-engine only).
-            sample_interval=1.0 if engine == "event" else None,
-            reference=reference,
+            n_groups=n_groups,
             max_time=max_time,
+            seed=seed,
+            algorithm=algorithm,
             engine=engine,
             schedule=schedule,
         )

@@ -19,11 +19,16 @@ from typing import Dict, List, Tuple
 from repro.analysis.reporting import format_series, format_table
 from repro.core.convergence import is_monotone_nondecreasing
 from repro.core.coordinator import RunResult, run_distributed_pagerank
-from repro.core.pagerank import pagerank_open
-from repro.experiments.workloads import DEFAULT_CONFIGS, ExperimentScale, default_graph
+from repro.experiments.workloads import (
+    DEFAULT_CONFIGS,
+    ExperimentScale,
+    default_graph,
+    reference_ranks,
+)
 from repro.graph.webgraph import WebGraph
+from repro.parallel.cache import array_fingerprint, cached_point
 
-__all__ = ["Fig7Result", "run_fig7"]
+__all__ = ["Fig7Result", "run_fig7", "fig7_point", "fig7_summary"]
 
 
 @dataclass
@@ -80,6 +85,66 @@ class Fig7Result:
         return "\n\n".join(parts)
 
 
+def fig7_point(
+    graph: WebGraph,
+    reference,
+    *,
+    p: float,
+    t1: float,
+    t2: float,
+    n_groups: int,
+    max_time: float,
+    seed: int,
+    engine: str,
+    schedule: str,
+) -> RunResult:
+    """One Fig 7 configuration (DPR1); the parallelizable sweep unit."""
+
+    def compute() -> RunResult:
+        return run_distributed_pagerank(
+            graph,
+            n_groups=n_groups,
+            algorithm="dpr1",
+            partition_strategy="url",
+            delivery_prob=p,
+            t1=t1,
+            t2=t2,
+            seed=seed,
+            # Flat engine: None resolves to the sync period (its trace
+            # is per-round; finer sampling is event-engine only).
+            sample_interval=1.0 if engine == "event" else None,
+            reference=reference,
+            max_time=max_time,
+            engine=engine,
+            schedule=schedule,
+        )
+
+    return cached_point(
+        "point/fig7",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "p": p,
+            "t1": t1,
+            "t2": t2,
+            "n_groups": n_groups,
+            "max_time": max_time,
+            "seed": seed,
+            "engine": engine,
+            "schedule": schedule,
+        },
+        compute,
+    )
+
+
+def fig7_summary(res: RunResult) -> Tuple[bool, float]:
+    """(monotone?, plateau) summary of one configuration's trace."""
+    return (
+        is_monotone_nondecreasing(res.trace.mean_ranks, tol=1e-9),
+        res.trace.mean_ranks[-1],
+    )
+
+
 def run_fig7(
     graph: WebGraph = None,
     *,
@@ -99,29 +164,21 @@ def run_fig7(
         graph = default_graph(scale)
     if configs is None:
         configs = DEFAULT_CONFIGS
-    reference = pagerank_open(graph).ranks
+    reference = reference_ranks(graph)
     result = Fig7Result(n_groups=n_groups)
     for label, (p, t1, t2) in configs.items():
-        res = run_distributed_pagerank(
+        res = fig7_point(
             graph,
-            n_groups=n_groups,
-            algorithm="dpr1",
-            partition_strategy="url",
-            delivery_prob=p,
+            reference,
+            p=p,
             t1=t1,
             t2=t2,
-            seed=seed,
-            # Flat engine: None resolves to the sync period (its trace
-            # is per-round; finer sampling is event-engine only).
-            sample_interval=1.0 if engine == "event" else None,
-            reference=reference,
+            n_groups=n_groups,
             max_time=max_time,
+            seed=seed,
             engine=engine,
             schedule=schedule,
         )
         result.results[label] = res
-        result.monotone[label] = is_monotone_nondecreasing(
-            res.trace.mean_ranks, tol=1e-9
-        )
-        result.plateau[label] = res.trace.mean_ranks[-1]
+        result.monotone[label], result.plateau[label] = fig7_summary(res)
     return result

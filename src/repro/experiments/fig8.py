@@ -36,11 +36,12 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.core.coordinator import run_distributed_pagerank
-from repro.core.pagerank import iterations_to_relative_error, pagerank_open
-from repro.experiments.workloads import ExperimentScale, default_graph
+from repro.core.pagerank import iterations_to_relative_error
+from repro.experiments.workloads import ExperimentScale, default_graph, reference_ranks
 from repro.graph.webgraph import WebGraph
+from repro.parallel.cache import array_fingerprint, cached_point
 
-__all__ = ["Fig8Result", "run_fig8"]
+__all__ = ["Fig8Result", "run_fig8", "fig8_point", "fig8_cpr_point"]
 
 
 @dataclass
@@ -80,6 +81,79 @@ class Fig8Result:
         )
 
 
+def fig8_point(
+    graph: WebGraph,
+    reference,
+    *,
+    algorithm: str,
+    k: int,
+    threshold: float,
+    wait_mean: float,
+    max_time: float,
+    seed: int,
+    engine: str,
+    schedule: str,
+) -> int:
+    """One (algorithm, K) sweep point: mean outer loops at threshold.
+
+    Returns -1 for runs that missed the threshold in their budget.
+    This is the unit of work the parallel harness distributes.
+    """
+
+    def compute() -> int:
+        res = run_distributed_pagerank(
+            graph,
+            n_groups=int(k),
+            algorithm=algorithm,
+            partition_strategy="site",
+            delivery_prob=1.0,
+            t1=wait_mean,
+            t2=wait_mean,
+            seed=seed,
+            # Flat engine: None resolves to the sync period (its
+            # trace is per-round; finer sampling is event-only).
+            sample_interval=wait_mean / 3.0 if engine == "event" else None,
+            reference=reference,
+            max_time=max_time,
+            target_relative_error=threshold,
+            engine=engine,
+            schedule=schedule,
+        )
+        return (
+            int(round(res.trace.mean_outer_iterations[-1])) if res.converged else -1
+        )
+
+    return cached_point(
+        "point/fig8",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "algorithm": algorithm,
+            "k": int(k),
+            "threshold": threshold,
+            "wait_mean": wait_mean,
+            "max_time": max_time,
+            "seed": seed,
+            "engine": engine,
+            "schedule": schedule,
+        },
+        compute,
+    )
+
+
+def fig8_cpr_point(graph: WebGraph, reference, threshold: float) -> int:
+    """The CPR baseline: Jacobi sweeps from R0=0 to the threshold."""
+    return cached_point(
+        "point/fig8_cpr",
+        {
+            "graph": graph.fingerprint(),
+            "reference": array_fingerprint(reference),
+            "threshold": threshold,
+        },
+        lambda: iterations_to_relative_error(graph, reference, threshold),
+    )
+
+
 def run_fig8(
     graph: WebGraph = None,
     *,
@@ -100,33 +174,22 @@ def run_fig8(
     """
     if graph is None:
         graph = default_graph(scale)
-    reference = pagerank_open(graph).ranks
+    reference = reference_ranks(graph)
     result = Fig8Result(threshold=threshold)
-    result.cpr_iterations = iterations_to_relative_error(graph, reference, threshold)
+    result.cpr_iterations = fig8_cpr_point(graph, reference, threshold)
     result.iterations = {"dpr1": {}, "dpr2": {}}
     for algorithm in ("dpr1", "dpr2"):
         for k in ks:
-            res = run_distributed_pagerank(
+            result.iterations[algorithm][int(k)] = fig8_point(
                 graph,
-                n_groups=int(k),
+                reference,
                 algorithm=algorithm,
-                partition_strategy="site",
-                delivery_prob=1.0,
-                t1=wait_mean,
-                t2=wait_mean,
-                seed=seed,
-                # Flat engine: None resolves to the sync period (its
-                # trace is per-round; finer sampling is event-only).
-                sample_interval=wait_mean / 3.0 if engine == "event" else None,
-                reference=reference,
+                k=int(k),
+                threshold=threshold,
+                wait_mean=wait_mean,
                 max_time=max_time,
-                target_relative_error=threshold,
+                seed=seed,
                 engine=engine,
                 schedule=schedule,
-            )
-            result.iterations[algorithm][int(k)] = (
-                int(round(res.trace.mean_outer_iterations[-1]))
-                if res.converged
-                else -1
             )
     return result

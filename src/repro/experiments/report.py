@@ -10,23 +10,12 @@ paper-vs-measured story in one call.
 
 from __future__ import annotations
 
+import contextlib
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.experiments.ablations import (
-    run_compression_ablation,
-    run_overlay_hops,
-    run_partitioning_ablation,
-    run_time_vs_bandwidth,
-    run_transport_comparison,
-)
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7
-from repro.experiments.fig8 import run_fig8
-from repro.experiments.table1 import run_table1
-from repro.experiments.workloads import ExperimentScale, default_graph
+from repro.experiments.workloads import ExperimentScale
 
 __all__ = ["ReproductionReport", "run_all", "EXPERIMENTS"]
 
@@ -52,6 +41,9 @@ class ReproductionReport:
     results: Dict[str, object] = field(default_factory=dict)
     sections: Dict[str, str] = field(default_factory=dict)
     durations: Dict[str, float] = field(default_factory=dict)
+    #: Per-experiment task compute seconds (plan order); durations[name]
+    #: is their sum, so serial/parallel reports stay comparable.
+    task_durations: Dict[str, List[float]] = field(default_factory=dict)
 
     def format(self) -> str:
         """The whole report as one text document."""
@@ -85,7 +77,10 @@ def run_all(
     only: Optional[Sequence[str]] = None,
     out_dir: Optional[Union[str, os.PathLike]] = None,
     fig8_ks: Sequence[int] = (2, 10, 100, 256),
-    table1_ns: Sequence[int] = (1_000, 10_000, 100_000),
+    table1_ns: Optional[Sequence[int]] = None,
+    overlay_ns: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> ReproductionReport:
     """Run the (selected) experiment suite on one shared workload.
 
@@ -93,37 +88,48 @@ def run_all(
     ----------
     scale:
         Workload size; one graph is generated and shared by every
-        graph-based experiment so results are comparable.
+        graph-based experiment so results are comparable.  The Table 1
+        and overlay-hops size grids scale with it (``sweep_grid``)
+        unless overridden via ``table1_ns`` / ``overlay_ns``.
     only:
         Subset of :data:`EXPERIMENTS` names to run (default: all).
     out_dir:
-        When given, tables are written there as they complete.
+        When given, tables are written there after the suite runs.
+    jobs:
+        Worker processes for the sweep.  1 (the default) runs every
+        sweep point inline in plan order; N > 1 scatters them over a
+        process pool with the graph handed off through shared memory.
+        Results are bit-identical for every value.
+    cache:
+        An :class:`repro.parallel.ArtifactCache` to memoize graphs,
+        reference vectors and sweep-point results through (default:
+        whatever cache is already active, usually none).
     """
+    from repro.parallel.cache import activate
+    from repro.parallel.executor import run_suite
+
     selected = list(EXPERIMENTS if only is None else only)
     unknown = set(selected) - set(EXPERIMENTS)
     if unknown:
         raise ValueError(f"unknown experiments: {sorted(unknown)}")
 
-    graph = default_graph(scale)
-    report = ReproductionReport(scale=scale)
+    ctx = activate(cache) if cache is not None else contextlib.nullcontext()
+    with ctx:
+        results, durations, task_durations = run_suite(
+            selected,
+            scale=scale,
+            jobs=jobs,
+            fig8_ks=fig8_ks,
+            table1_ns=table1_ns,
+            overlay_ns=overlay_ns,
+        )
 
-    runners = {
-        "table1": lambda: run_table1(ns=table1_ns),
-        "fig6": lambda: run_fig6(graph, n_groups=64, max_time=90.0),
-        "fig7": lambda: run_fig7(graph, n_groups=100, max_time=90.0),
-        "fig8": lambda: run_fig8(graph, ks=fig8_ks),
-        "partitioning": lambda: run_partitioning_ablation(graph, n_groups=16),
-        "transport": lambda: run_transport_comparison(graph, n_groups=48),
-        "compression": lambda: run_compression_ablation(graph, n_groups=16),
-        "overlay_hops": lambda: run_overlay_hops(ns=(100, 1_000, 10_000)),
-        "tradeoff": lambda: run_time_vs_bandwidth(graph, n_groups=16),
-    }
+    report = ReproductionReport(scale=scale)
     for name in selected:
-        t0 = time.time()
-        result = runners[name]()
-        report.durations[name] = time.time() - t0
-        report.results[name] = result
-        report.sections[name] = result.format()
-        if out_dir is not None:
-            report.save(out_dir)
+        report.results[name] = results[name]
+        report.sections[name] = results[name].format()
+        report.durations[name] = durations[name]
+        report.task_durations[name] = task_durations[name]
+    if out_dir is not None:
+        report.save(out_dir)
     return report

@@ -24,8 +24,9 @@ from repro.analysis.cost_model import CostModel, PASTRY_HOPS_BY_N, table1_rows
 from repro.analysis.reporting import format_table
 from repro.overlay.metrics import hop_statistics
 from repro.overlay.pastry import PastryOverlay
+from repro.parallel.cache import cached_point
 
-__all__ = ["Table1Result", "run_table1"]
+__all__ = ["Table1Result", "run_table1", "table1_hops_point", "assemble_table1"]
 
 
 @dataclass
@@ -70,6 +71,35 @@ class Table1Result:
         )
 
 
+def table1_hops_point(n: int, *, hop_samples: int, seed: int) -> float:
+    """Measured mean Pastry hop count at overlay size ``n``.
+
+    Building a 10⁵-node Pastry overlay dominates Table 1's cost, so
+    each size is its own parallelizable (and cacheable) task.
+    """
+    return cached_point(
+        "point/table1_hops",
+        {"overlay": "pastry", "n": int(n), "hop_samples": hop_samples, "seed": seed},
+        lambda: hop_statistics(
+            PastryOverlay(int(n), seed=seed), hop_samples, seed=seed
+        ).mean,
+    )
+
+
+def assemble_table1(
+    ns: Sequence[int], hops: Sequence[float], *, model: CostModel = None
+) -> Table1Result:
+    """Build the paper-vs-measured table from per-size hop counts."""
+    model = model if model is not None else CostModel()
+    measured_hops = {int(n): float(h) for n, h in zip(ns, hops)}
+    paper_hops = {int(n): PASTRY_HOPS_BY_N.get(int(n), measured_hops[int(n)]) for n in ns}
+    return Table1Result(
+        paper_rows=table1_rows(paper_hops, model=model),
+        measured_rows=table1_rows(measured_hops, model=model),
+        measured_hops=measured_hops,
+    )
+
+
 def run_table1(
     *,
     ns: Sequence[int] = (1_000, 10_000, 100_000),
@@ -78,14 +108,5 @@ def run_table1(
     model: CostModel = None,
 ) -> Table1Result:
     """Evaluate Table 1 with paper hops and measured Pastry hops."""
-    model = model if model is not None else CostModel()
-    measured_hops: Dict[int, float] = {}
-    for n in ns:
-        overlay = PastryOverlay(int(n), seed=seed)
-        measured_hops[int(n)] = hop_statistics(overlay, hop_samples, seed=seed).mean
-    paper_hops = {int(n): PASTRY_HOPS_BY_N.get(int(n), measured_hops[int(n)]) for n in ns}
-    return Table1Result(
-        paper_rows=table1_rows(paper_hops, model=model),
-        measured_rows=table1_rows(measured_hops, model=model),
-        measured_hops=measured_hops,
-    )
+    hops = [table1_hops_point(int(n), hop_samples=hop_samples, seed=seed) for n in ns]
+    return assemble_table1(ns, hops, model=model)

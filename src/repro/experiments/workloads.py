@@ -10,12 +10,23 @@ Figs 6–7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.graph.generators import google_contest_like
 from repro.graph.webgraph import WebGraph
 
-__all__ = ["ExperimentScale", "default_graph", "DEFAULT_CONFIGS"]
+__all__ = [
+    "ExperimentScale",
+    "default_graph",
+    "reference_ranks",
+    "DEFAULT_CONFIGS",
+]
+
+#: Reference n_pages at which sweep grids equal their published
+#: defaults (the pre-harness hard-coded values).
+_BASELINE_PAGES = 4000
 
 
 @dataclass(frozen=True)
@@ -40,15 +51,39 @@ class ExperimentScale:
             seed=self.seed,
         )
 
+    def sweep_grid(
+        self, base: Sequence[int], *, minimum: int = 16
+    ) -> Tuple[int, ...]:
+        """Scale an overlay/ranker size grid with the workload.
+
+        ``base`` is the grid used at the default 4000-page scale; a
+        smaller workload shrinks it proportionally (clamped to
+        ``minimum``, deduplicated, order preserved) so a small-scale
+        smoke run really is small.  At the default scale the grid is
+        returned unchanged.
+        """
+        factor = self.n_pages / _BASELINE_PAGES
+        out = []
+        for b in base:
+            v = max(int(minimum), int(round(b * factor)))
+            if v not in out:
+                out.append(v)
+        return tuple(out)
+
 
 def default_graph(scale: ExperimentScale = ExperimentScale()) -> WebGraph:
     """The contest-like graph all figure experiments run on.
 
     Parameters pinned to the paper's dataset statistics: mean
     out-degree 15, 7/15 of links internal, ~90% of internal links
-    intra-site.
+    intra-site.  When an artifact cache is active the generated graph
+    is stored/retrieved by its generator parameters; generation is
+    deterministic, so a hit is bit-identical to regeneration.
     """
-    return google_contest_like(
+    from repro.parallel.cache import active_cache, cache_key
+
+    params = dict(
+        generator="google_contest_like",
         n_pages=scale.n_pages,
         n_sites=min(scale.n_sites, scale.n_pages),
         mean_out_degree=15.0,
@@ -56,6 +91,50 @@ def default_graph(scale: ExperimentScale = ExperimentScale()) -> WebGraph:
         intra_site_fraction=0.9,
         seed=scale.seed,
     )
+    cache = active_cache()
+    if cache is not None:
+        key = cache_key("webgraph", params)
+        hit = cache.load_graph(key)
+        if hit is not None:
+            return hit
+    params.pop("generator")
+    graph = google_contest_like(**params)
+    if cache is not None:
+        cache.store_graph(key, graph)
+    return graph
+
+
+def reference_ranks(graph: WebGraph, *, tol: Optional[float] = None) -> np.ndarray:
+    """Centralized reference PageRank ``R*`` for ``graph``.
+
+    Every experiment measures against this fixed point; routing the
+    computation through here lets an active artifact cache compute it
+    once per (graph, tolerance) instead of once per experiment.  With
+    no active cache this is exactly ``pagerank_open(graph).ranks``.
+    """
+    from repro.core.pagerank import pagerank_open
+    from repro.parallel.cache import active_cache, cache_key
+
+    kwargs = {} if tol is None else {"tol": float(tol)}
+    cache = active_cache()
+    if cache is None:
+        return pagerank_open(graph, **kwargs).ranks
+    key = cache_key(
+        "reference",
+        {
+            "graph": graph.fingerprint(),
+            "solver": "pagerank_open",
+            "alpha": 0.85,
+            "tol": "default" if tol is None else float(tol),
+            "dangling": "leak",
+        },
+    )
+    hit = cache.load_arrays(key)
+    if hit is not None:
+        return hit["ranks"]
+    ranks = pagerank_open(graph, **kwargs).ranks
+    cache.store_arrays(key, ranks=ranks)
+    return ranks
 
 
 #: The paper's three experiment configurations (Figs 6 and 7):

@@ -43,13 +43,10 @@ def load_webgraph(path: Union[str, os.PathLike]) -> WebGraph:
                 f"(this build reads version {FORMAT_VERSION})"
             )
         n_pages = int(data["n_pages"])
-        indptr = data["indptr"]
-        indices = data["indices"]
-        src = np.repeat(np.arange(n_pages, dtype=np.int64), np.diff(indptr))
-        graph = WebGraph(
+        graph = WebGraph.from_csr(
             n_pages,
-            src,
-            indices,
+            data["indptr"],
+            data["indices"],
             site_of=data["site_of"],
             external_out=data["external_out"],
             site_names=tuple(str(s) for s in data["site_names"]),

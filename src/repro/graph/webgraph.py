@@ -67,6 +67,7 @@ class WebGraph:
         "_adj",
         "_out_deg",
         "_in_deg",
+        "_fingerprint",
     )
 
     def __init__(
@@ -135,6 +136,117 @@ class WebGraph:
         self._adj: Optional[sp.csr_matrix] = None
         self._out_deg: Optional[np.ndarray] = None
         self._in_deg: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        n_pages: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        site_of: Optional[np.ndarray] = None,
+        external_out: Optional[np.ndarray] = None,
+        site_names: Optional[Sequence[str]] = None,
+        copy: bool = True,
+        validate: bool = True,
+    ) -> "WebGraph":
+        """Build a graph directly from CSR arrays, skipping the edge sort.
+
+        ``__init__`` accepts an edge list and stable-sorts it into CSR
+        form — an O(E log E) step that is wasted work when the caller
+        already holds CSR arrays (deserialization, shared-memory
+        attach).  With ``copy=False`` the provided arrays are adopted
+        as-is (they may be read-only views over shared memory); the
+        caller must not mutate them afterwards.
+        """
+        n_pages = int(n_pages)
+        if n_pages < 0:
+            raise ValueError(f"n_pages must be >= 0, got {n_pages}")
+
+        def _adopt(arr, dtype):
+            out = np.asarray(arr, dtype=dtype)
+            return out.copy() if copy and out is arr else np.ascontiguousarray(out)
+
+        indptr = _adopt(indptr, np.int64)
+        indices = _adopt(indices, np.int64)
+        if validate:
+            if indptr.shape != (n_pages + 1,):
+                raise ValueError("indptr must have shape (n_pages + 1,)")
+            if indptr[0] != 0 or indptr[-1] != indices.size:
+                raise ValueError("indptr must start at 0 and end at len(indices)")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if indices.size and (indices.min() < 0 or indices.max() >= n_pages):
+                raise ValueError("indices contains page ids outside [0, n_pages)")
+
+        graph = cls.__new__(cls)
+        graph.n_pages = n_pages
+        graph.indptr = indptr
+        graph.indices = indices
+
+        if site_of is None:
+            graph.site_of = np.zeros(n_pages, dtype=np.int64)
+        else:
+            graph.site_of = _adopt(site_of, np.int64)
+            if validate:
+                if graph.site_of.shape != (n_pages,):
+                    raise ValueError("site_of must have shape (n_pages,)")
+                if n_pages and graph.site_of.min() < 0:
+                    raise ValueError("site ids must be non-negative")
+
+        if external_out is None:
+            graph.external_out = np.zeros(n_pages, dtype=np.int64)
+        else:
+            graph.external_out = _adopt(external_out, np.int64)
+            if validate:
+                if graph.external_out.shape != (n_pages,):
+                    raise ValueError("external_out must have shape (n_pages,)")
+                if n_pages and graph.external_out.min() < 0:
+                    raise ValueError("external_out must be non-negative")
+
+        n_sites = int(graph.site_of.max()) + 1 if n_pages else 0
+        if site_names is None:
+            graph.site_names = tuple(f"site{i:04d}.example.edu" for i in range(n_sites))
+        else:
+            graph.site_names = tuple(site_names)
+            if len(graph.site_names) < n_sites:
+                raise ValueError(
+                    f"site_names has {len(graph.site_names)} entries but "
+                    f"site ids go up to {n_sites - 1}"
+                )
+
+        graph._adj = None
+        graph._out_deg = None
+        graph._in_deg = None
+        graph._fingerprint = None
+        return graph
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex digest of the graph's full content.
+
+        Covers the CSR structure, site assignment, external-link counts
+        and site names, so two graphs share a fingerprint iff they are
+        value-equal.  Used as the graph component of content-addressed
+        cache keys; cached after first call (the arrays are immutable
+        by convention).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha1()
+            h.update(str(self.n_pages).encode())
+            for arr in (self.indptr, self.indices, self.site_of, self.external_out):
+                h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+            h.update("\x00".join(self.site_names).encode("utf-8"))
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Basic properties

@@ -1,0 +1,132 @@
+"""Suite execution: serial inline or across a process pool.
+
+:func:`run_suite` is the single execution path behind
+``report.run_all`` for every ``jobs`` value.  It plans the selected
+experiments into independent tasks (:mod:`repro.parallel.tasks`),
+executes them — inline and in plan order for ``jobs == 1``, over a
+``ProcessPoolExecutor`` with a shared-memory workload for
+``jobs > 1`` — then reassembles the results in the caller's canonical
+experiment order.  Because the serial and parallel paths run the very
+same point functions with the same seeds, the assembled results (and
+hence the formatted report tables) are bit-identical across modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.workloads import ExperimentScale
+from repro.parallel import tasks as _tasks
+from repro.parallel.cache import active_cache
+from repro.parallel.sharedmem import SharedWorkload
+from repro.parallel.tasks import (
+    REF_DEFAULT,
+    REF_TRADEOFF,
+    SweepTask,
+    assemble_experiment,
+    execute_task,
+    experiment_needs_graph,
+    experiment_ref_keys,
+    plan_experiment,
+    suite_options,
+)
+
+__all__ = ["run_suite"]
+
+
+def _run_task(task: SweepTask) -> Tuple[str, int, Any, float]:
+    """Pool entry point: run one task against the worker's workload."""
+    value, seconds = execute_task(task.kind, task.params)
+    return task.experiment, task.index, value, seconds
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imports); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - fork-less platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_suite(
+    selected: Sequence[str],
+    *,
+    scale: ExperimentScale,
+    jobs: int = 1,
+    fig8_ks: Sequence[int] = (2, 10, 100, 256),
+    table1_ns: Optional[Sequence[int]] = None,
+    overlay_ns: Optional[Sequence[int]] = None,
+) -> Tuple[Dict[str, Any], Dict[str, float], Dict[str, List[float]]]:
+    """Run the selected experiments as a task bag.
+
+    Returns ``(results, durations, task_durations)`` keyed by
+    experiment name, with ``results`` in ``selected`` order and
+    ``durations[name]`` the summed task seconds of that experiment
+    (the cost the suite would pay serially — the right input for
+    parallel-schedule analysis).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    options = suite_options(
+        scale, fig8_ks=fig8_ks, table1_ns=table1_ns, overlay_ns=overlay_ns
+    )
+    plan: List[SweepTask] = []
+    for name in selected:
+        plan.extend(plan_experiment(name, options))
+
+    # Build the shared workload once in the parent: the graph (if any
+    # selected experiment runs on it) and every reference vector those
+    # experiments consume.  Goes through the active artifact cache.
+    need_graph = any(experiment_needs_graph(name) for name in selected)
+    ref_keys = {key for name in selected for key in experiment_ref_keys(name)}
+    graph = None
+    refs: Dict[str, Any] = {}
+    if need_graph:
+        from repro.experiments.workloads import default_graph, reference_ranks
+
+        graph = default_graph(scale)
+        if REF_DEFAULT in ref_keys:
+            refs[REF_DEFAULT] = reference_ranks(graph)
+        if REF_TRADEOFF in ref_keys:
+            refs[REF_TRADEOFF] = reference_ranks(graph, tol=1e-12)
+
+    values: Dict[Tuple[str, int], Any] = {}
+    seconds: Dict[Tuple[str, int], float] = {}
+    if jobs == 1 or len(plan) <= 1:
+        _tasks.set_worker_workload(graph, refs)
+        for task in plan:
+            value, secs = execute_task(task.kind, task.params)
+            values[(task.experiment, task.index)] = value
+            seconds[(task.experiment, task.index)] = secs
+    else:
+        cache = active_cache()
+        cache_root = str(cache.root) if cache is not None else None
+        ctx = _pool_context()
+        with SharedWorkload(graph, refs) as workload:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(plan)),
+                mp_context=ctx,
+                initializer=_tasks.init_worker,
+                initargs=(
+                    workload.spec(),
+                    cache_root,
+                    ctx.get_start_method() != "fork",
+                ),
+            ) as pool:
+                for name, index, value, secs in pool.map(_run_task, plan):
+                    values[(name, index)] = value
+                    seconds[(name, index)] = secs
+
+    results: Dict[str, Any] = {}
+    durations: Dict[str, float] = {}
+    task_durations: Dict[str, List[float]] = {}
+    for name in selected:
+        n_tasks = sum(1 for t in plan if t.experiment == name)
+        ordered = [values[(name, i)] for i in range(n_tasks)]
+        results[name] = assemble_experiment(name, options, ordered)
+        task_durations[name] = [seconds[(name, i)] for i in range(n_tasks)]
+        durations[name] = float(sum(task_durations[name]))
+    return results, durations, task_durations

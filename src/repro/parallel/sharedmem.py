@@ -1,0 +1,190 @@
+"""Zero-copy workload handoff to worker processes.
+
+A sweep at 10⁶ pages carries ~100 MB of CSR arrays; pickling the
+graph into every worker multiplies that by the pool size and burns
+startup time.  Instead the parent publishes the workload once into
+POSIX shared memory (:class:`SharedWorkload`) and ships workers only
+a tiny picklable *spec* naming the segments.  Workers attach and wrap
+the segments as read-only numpy views — the graph is reconstructed
+with :meth:`WebGraph.from_csr` without copying a byte.
+
+When shared memory is unavailable (exotic platforms, ``/dev/shm``
+mounted noexec/absent, or ``REPRO_PARALLEL_SHM=0``) the spec simply
+carries the pickled objects; with the default ``fork`` start method
+that fallback is still cheap because the pages are inherited
+copy-on-write.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.webgraph import WebGraph
+
+__all__ = ["SharedWorkload", "attach_workload"]
+
+#: Set to "0" to force the pickle fallback (mainly for tests).
+_SHM_ENV = "REPRO_PARALLEL_SHM"
+
+
+def _shm_enabled() -> bool:
+    return os.environ.get(_SHM_ENV, "1") != "0"
+
+
+def _graph_array_items(graph: WebGraph) -> List[Tuple[str, np.ndarray]]:
+    return [
+        ("indptr", graph.indptr),
+        ("indices", graph.indices),
+        ("site_of", graph.site_of),
+        ("external_out", graph.external_out),
+    ]
+
+
+class SharedWorkload:
+    """Parent-side publication of (graph, reference vectors).
+
+    Use as a context manager around the worker pool's lifetime: the
+    segments must outlive every attach, and are unlinked on exit.
+
+    ``spec()`` returns the picklable description workers pass to
+    :func:`attach_workload`.
+    """
+
+    def __init__(self, graph: Optional[WebGraph], refs: Dict[str, np.ndarray], *, use_shm: Optional[bool] = None):
+        self._segments = []
+        if use_shm is None:
+            use_shm = _shm_enabled()
+        self._spec: Dict[str, object] = {"mode": "pickle", "graph": graph, "refs": refs}
+        if not use_shm or (graph is None and not refs):
+            return
+        try:
+            self._publish(graph, refs)
+        except Exception:
+            # Any shared-memory failure degrades to the pickle spec.
+            self.close()
+            self._segments = []
+            self._spec = {"mode": "pickle", "graph": graph, "refs": refs}
+
+    # ------------------------------------------------------------------
+    def _put_array(self, arr: np.ndarray) -> Dict[str, object]:
+        from multiprocessing import shared_memory
+
+        arr = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self._segments.append(seg)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        return {"name": seg.name, "dtype": str(arr.dtype), "shape": tuple(arr.shape)}
+
+    def _publish(self, graph: Optional[WebGraph], refs: Dict[str, np.ndarray]) -> None:
+        spec: Dict[str, object] = {"mode": "shm", "graph": None, "refs": {}}
+        if graph is not None:
+            spec["graph"] = {
+                "n_pages": graph.n_pages,
+                "site_names": graph.site_names,
+                "arrays": {
+                    name: self._put_array(arr) for name, arr in _graph_array_items(graph)
+                },
+            }
+        spec["refs"] = {key: self._put_array(arr) for key, arr in refs.items()}
+        self._spec = spec
+
+    # ------------------------------------------------------------------
+    def spec(self) -> Dict[str, object]:
+        """Picklable description for :func:`attach_workload`."""
+        return self._spec
+
+    @property
+    def uses_shm(self) -> bool:
+        """True when the workload actually lives in shared memory."""
+        return self._spec.get("mode") == "shm"
+
+    def close(self) -> None:
+        """Release and unlink every published segment."""
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedWorkload":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _attach_array(
+    entry: Dict[str, object], keepalive: list, unregister: bool
+) -> np.ndarray:
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=entry["name"], create=False)
+    if unregister:
+        # The parent owns the segment's lifetime.  A spawn-started
+        # worker has its own resource tracker, which would unlink the
+        # segment at worker exit (while the parent still uses it) and
+        # warn about leaks — so drop its registration.  Fork-started
+        # workers share the parent's tracker and must NOT unregister:
+        # that would strip the parent's own registration.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    keepalive.append(seg)
+    arr = np.ndarray(
+        tuple(entry["shape"]), dtype=np.dtype(entry["dtype"]), buffer=seg.buf
+    )
+    arr.flags.writeable = False
+    return arr
+
+
+def attach_workload(
+    spec: Dict[str, object],
+    keepalive: Optional[list] = None,
+    *,
+    unregister: bool = False,
+):
+    """Worker-side reconstruction of (graph, refs) from a spec.
+
+    ``keepalive`` (a list the caller must retain for as long as the
+    arrays are used) receives the attached segment handles; dropping
+    them would invalidate the views.  ``unregister`` must be True only
+    in processes with their own resource tracker (spawn-started
+    workers); see :func:`_attach_array`.  Returns ``(graph_or_None,
+    refs_dict)``.
+    """
+    if keepalive is None:
+        keepalive = []
+    if spec["mode"] == "pickle":
+        return spec["graph"], dict(spec["refs"])
+
+    graph = None
+    gspec = spec.get("graph")
+    if gspec is not None:
+        arrays = {
+            name: _attach_array(entry, keepalive, unregister)
+            for name, entry in gspec["arrays"].items()
+        }
+        graph = WebGraph.from_csr(
+            gspec["n_pages"],
+            arrays["indptr"],
+            arrays["indices"],
+            site_of=arrays["site_of"],
+            external_out=arrays["external_out"],
+            site_names=gspec["site_names"],
+            copy=False,
+            validate=False,
+        )
+    refs = {
+        key: _attach_array(entry, keepalive, unregister)
+        for key, entry in spec["refs"].items()
+    }
+    return graph, refs

@@ -1,0 +1,201 @@
+"""Tests for the parallel harness: executor, cache, shared memory.
+
+The harness's contract is bit-identity: the same suite must produce
+byte-identical formatted tables whether it runs serially, across a
+process pool, or out of a warm artifact cache.  These tests pin that
+contract at a tiny scale, plus the cache-key stability and corruption
+safety the cache's correctness rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import run_all
+from repro.experiments.workloads import ExperimentScale, default_graph
+from repro.parallel import cache as cache_mod
+from repro.parallel.cache import (
+    ArtifactCache,
+    activate,
+    cache_from_env,
+    cache_key,
+    cached_point,
+    canonical_params,
+)
+from repro.parallel.sharedmem import SharedWorkload, attach_workload
+from repro.parallel.tasks import plan_experiment, suite_options
+
+TINY = ExperimentScale(n_pages=400, n_sites=20, seed=9)
+
+#: A fast, representative suite subset (overlay build + two
+#: graph-based experiments with distinct reference tolerances).
+SUBSET = ("table1", "partitioning", "tradeoff")
+SUBSET_KW = dict(scale=TINY, only=SUBSET, table1_ns=(1_000,))
+
+
+class TestExecutionModeIdentity:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_all(**SUBSET_KW)
+
+    def test_pool_matches_serial(self, serial):
+        parallel = run_all(**SUBSET_KW, jobs=2)
+        assert parallel.sections == serial.sections
+
+    def test_pool_without_shm_matches_serial(self, serial, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_SHM", "0")
+        parallel = run_all(**SUBSET_KW, jobs=2)
+        assert parallel.sections == serial.sections
+
+    def test_cold_then_warm_cache_matches_serial(self, serial, tmp_path):
+        cold_cache = ArtifactCache(tmp_path)
+        cold = run_all(**SUBSET_KW, cache=cold_cache)
+        assert cold.sections == serial.sections
+        assert cold_cache.stores > 0 and cold_cache.hits == 0
+
+        warm_cache = ArtifactCache(tmp_path)
+        warm = run_all(**SUBSET_KW, cache=warm_cache)
+        assert warm.sections == serial.sections
+        assert warm_cache.misses == 0 and warm_cache.hits > 0
+        assert warm_cache.stores == 0
+
+    def test_results_in_selected_order(self, serial):
+        assert tuple(serial.sections) == SUBSET
+        assert tuple(serial.results) == SUBSET
+
+    def test_task_durations_cover_every_task(self, serial):
+        options = suite_options(TINY, table1_ns=(1_000,))
+        for name in SUBSET:
+            assert len(serial.task_durations[name]) == len(
+                plan_experiment(name, options)
+            )
+            assert serial.durations[name] == pytest.approx(
+                sum(serial.task_durations[name])
+            )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_all(**SUBSET_KW, jobs=0)
+
+
+class TestCacheKeys:
+    def test_golden_key_pinned(self):
+        # Pinned hex: guards the canonical-JSON rendering (key order,
+        # separators, tuple->list, schema version).  If this moves,
+        # every existing cache on disk silently invalidates — bump
+        # CACHE_SCHEMA_VERSION deliberately instead.
+        assert (
+            cache_key(
+                "point/golden",
+                {"alpha": 0.85, "n": 1000, "grid": (1, 2, 3), "label": "A"},
+            )
+            == "14797a7aef7a46436ed17e0ab272058b60efa38ba05e5c59681525a445444918"
+        )
+
+    def test_key_independent_of_param_order(self):
+        assert cache_key("k", {"a": 1, "b": 2}) == cache_key("k", {"b": 2, "a": 1})
+
+    def test_key_sensitive_to_every_component(self):
+        base = cache_key("k", {"a": 1, "b": 2.0})
+        assert cache_key("k2", {"a": 1, "b": 2.0}) != base
+        assert cache_key("k", {"a": 2, "b": 2.0}) != base
+        assert cache_key("k", {"a": 1, "b": 2.5}) != base
+        assert cache_key("k", {"a": 1, "b": 2.0, "c": None}) != base
+
+    def test_schema_bump_invalidates(self, monkeypatch):
+        before = cache_key("k", {"a": 1})
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 999)
+        assert cache_key("k", {"a": 1}) != before
+
+    def test_numpy_scalars_canonicalize(self):
+        assert cache_key("k", {"n": np.int64(7)}) == cache_key("k", {"n": 7})
+
+    def test_unhashable_params_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_params({"arr": np.zeros(3)})
+
+
+class TestArtifactCache:
+    def test_array_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        ranks = np.linspace(0.0, 1.0, 17)
+        cache.store_arrays("a" * 64, ranks=ranks)
+        out = cache.load_arrays("a" * 64)
+        assert out["ranks"].tobytes() == ranks.tobytes()
+
+    def test_object_round_trip_preserves_none(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with activate(cache):
+            calls = []
+            for _ in range(2):
+                value = cached_point("point/t", {"x": 1}, lambda: calls.append(1))
+            assert value is None  # legitimately-None value is a hit,
+            assert calls == [1]  # not a recompute
+
+    def test_graph_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        graph = default_graph(TINY)
+        cache.store_graph("b" * 64, graph)
+        out = cache.load_graph("b" * 64)
+        assert out.fingerprint() == graph.fingerprint()
+
+    def test_corrupt_entry_is_a_miss_and_discarded(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "c" * 64
+        cache.store_arrays(key, x=np.arange(5))
+        path = cache.path_for(key, ".npz")
+        path.write_bytes(b"not an npz archive")
+        assert cache.load_arrays(key) is None
+        assert not path.exists()
+        # Object and graph entries degrade the same way.
+        cache.store_object(key, {"value": 3})
+        cache.path_for(key, ".pkl").write_bytes(b"\x80garbage")
+        assert cache.load_object(key) is None
+        cache.path_for(key, ".graph.npz").write_bytes(b"junk")
+        assert cache.load_graph(key) is None
+
+    def test_no_temp_files_linger(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store_arrays("d" * 64, x=np.arange(3))
+        cache.store_object("e" * 64, {"value": 1})
+        cache.store_graph("f" * 64, default_graph(TINY))
+        assert not [p for p in tmp_path.rglob("*.tmp*")]
+
+    def test_cached_point_without_cache_computes_every_time(self):
+        calls = []
+        for _ in range(2):
+            cached_point("point/t", {"x": 1}, lambda: calls.append(1))
+        assert calls == [1, 1]
+
+    def test_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = cache_from_env()
+        assert cache is not None and cache.root == tmp_path / "envcache"
+
+
+class TestSharedWorkload:
+    def test_shm_round_trip(self):
+        graph = default_graph(TINY)
+        refs = {"default": np.linspace(0.0, 1.0, graph.n_pages)}
+        keepalive = []
+        with SharedWorkload(graph, refs) as workload:
+            if not workload.uses_shm:
+                pytest.skip("shared memory unavailable on this platform")
+            spec = workload.spec()
+            out_graph, out_refs = attach_workload(spec, keepalive)
+            assert out_graph.fingerprint() == graph.fingerprint()
+            assert out_refs["default"].tobytes() == refs["default"].tobytes()
+            assert not out_refs["default"].flags.writeable
+            assert not out_graph.indices.flags.writeable
+            del out_graph, out_refs
+            keepalive.clear()
+
+    def test_pickle_fallback_round_trip(self):
+        graph = default_graph(TINY)
+        refs = {"default": np.linspace(0.0, 1.0, graph.n_pages)}
+        with SharedWorkload(graph, refs, use_shm=False) as workload:
+            assert not workload.uses_shm
+            out_graph, out_refs = attach_workload(workload.spec())
+            assert out_graph is graph
+            assert out_refs["default"] is refs["default"]

@@ -41,6 +41,29 @@ class TestRunAll:
         with pytest.raises(ValueError, match="unknown"):
             run_all(scale=TINY, only=("fig99",))
 
+    def test_table1_grid_scales_with_workload(self):
+        # At 400 pages (0.1x the 4000-page default) the historical
+        # (1e3, 1e4, 1e5) overlay grid shrinks proportionally instead
+        # of building a 100k-node Pastry overlay for a smoke run.
+        report = run_all(scale=TINY, only=("table1",))
+        assert sorted(report.results["table1"].measured_hops) == [100, 1_000, 10_000]
+
+    def test_overlay_grid_scales_with_workload(self):
+        report = run_all(scale=TINY, only=("overlay_hops",))
+        sizes = {row[1] for row in report.results["overlay_hops"].rows()}
+        assert sizes == {16, 100, 1_000}
+
+    def test_default_scale_keeps_published_grids(self):
+        from repro.parallel.tasks import suite_options
+
+        options = suite_options(ExperimentScale())
+        assert options["table1"]["ns"] == (1_000, 10_000, 100_000)
+        assert options["overlay_hops"]["ns"] == (100, 1_000, 10_000)
+
+    def test_explicit_grids_override_scaling(self):
+        report = run_all(scale=TINY, only=("table1",), table1_ns=(1_000,))
+        assert sorted(report.results["table1"].measured_hops) == [1_000]
+
     def test_registry_matches_runners(self):
         report = run_all(scale=TINY, only=(), table1_ns=(1_000,))
         assert report.sections == {}
