@@ -9,6 +9,9 @@ Usage::
     python -m repro run    [--pages N] [--groups K] [--algorithm dpr1]
                            [--transport indirect] [--overlay pastry] ...
     python -m repro summary [--pages N] [--sites N]
+    python -m repro graphgen --out DIR [--pages N] [--chunk-pages C]
+    python -m repro partitions [--pages N] [--groups K] [--graph DIR]
+                               [--strategies site,ldg,...] [--cut-only]
 
 Every subcommand prints the same text tables the benches save, so a
 user can regenerate any paper artifact without touching pytest.
@@ -193,6 +196,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum = sub.add_parser("summary", help="describe a generated crawl")
     add_workload(p_sum)
 
+    p_gen = sub.add_parser(
+        "graphgen",
+        help="stream-generate a crawl to an on-disk webgraph directory",
+    )
+    add_workload(p_gen)
+    p_gen.add_argument(
+        "--out", required=True,
+        help="destination path: a directory for the memory-mappable "
+        "format (recommended), or *.npz for the compressed archive",
+    )
+    p_gen.add_argument(
+        "--chunk-pages", type=_positive_int, default=None,
+        help="pages generated per chunk (bounds peak memory; default "
+        "2**16; the emitted graph is bit-identical for every value)",
+    )
+
+    p_part = sub.add_parser(
+        "partitions",
+        help="partitioner bake-off: cut size, balance, traffic, and "
+        "rounds-to-target for every placement strategy on one graph",
+    )
+    add_workload(p_part)
+    p_part.add_argument("--groups", type=_positive_int, default=16, help="ranker count K")
+    p_part.add_argument(
+        "--strategies",
+        type=lambda s: [x for x in s.split(",") if x],
+        default=None,
+        help="comma-separated strategy names (default: all of "
+        "site,url,rendezvous,random,contiguous,ldg)",
+    )
+    p_part.add_argument(
+        "--target", type=_positive_float, default=1e-4,
+        help="relative-error target for the rounds-to-ε column",
+    )
+    p_part.add_argument(
+        "--max-time", type=_positive_float, default=3000.0,
+        help="simulated-time budget per convergence run",
+    )
+    p_part.add_argument(
+        "--cut-only", action="store_true",
+        help="skip the convergence runs (no centralized reference "
+        "solve); keeps 1e7-page graphs feasible",
+    )
+    p_part.add_argument(
+        "--graph", default=None,
+        help="load this saved webgraph (directory → memory-mapped, "
+        "*.npz → in-memory) instead of generating one; --pages/--sites "
+        "are ignored",
+    )
+    p_part.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR if "
+        "set, else no caching); cached tables reproduce byte-identically",
+    )
+
     p_all = sub.add_parser("all", help="run the full reproduction suite")
     add_workload(p_all)
     p_all.add_argument(
@@ -349,6 +407,63 @@ def cmd_summary(args) -> int:
     return 0
 
 
+def cmd_graphgen(args) -> int:
+    """Stream-generate a crawl straight to disk and describe it."""
+    import time
+
+    from repro.graph import google_contest_like
+
+    t0 = time.perf_counter()
+    graph = google_contest_like(
+        args.pages,
+        min(args.sites, args.pages),
+        seed=args.seed,
+        out=args.out,
+        chunk_pages=args.chunk_pages,
+    )
+    seconds = time.perf_counter() - t0
+    rows = [
+        ("path", args.out),
+        ("pages", graph.n_pages),
+        ("sites", graph.n_sites),
+        ("internal links", graph.n_internal_links),
+        ("total links", graph.n_links),
+        ("fingerprint", graph.fingerprint()),
+        ("build seconds", f"{seconds:.2f}"),
+    ]
+    print(format_table(["field", "value"], rows, title="graphgen"))
+    return 0
+
+
+def cmd_partitions(args) -> int:
+    """Run the partitioner bake-off and print its table."""
+    import contextlib
+
+    from repro.experiments import BAKEOFF_STRATEGIES, run_partition_bakeoff
+    from repro.parallel.cache import ArtifactCache, activate, cache_from_env
+
+    if args.graph is not None:
+        from repro.graph.io import load_webgraph
+
+        graph = load_webgraph(args.graph, mmap=not str(args.graph).endswith(".npz"))
+    else:
+        graph = _make_graph(args)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    ctx = activate(cache) if cache is not None else contextlib.nullcontext()
+    with ctx:
+        result = run_partition_bakeoff(
+            graph,
+            n_groups=args.groups,
+            strategies=args.strategies or BAKEOFF_STRATEGIES,
+            seed=args.seed,
+            target_relative_error=args.target,
+            max_time=args.max_time,
+            measure_rank=not args.cut_only,
+        )
+    print(result.format())
+    return 0
+
+
 def cmd_all(args) -> int:
     """Run every experiment and print/write the combined report."""
     from repro.experiments import ExperimentScale, run_all
@@ -374,6 +489,8 @@ COMMANDS = {
     "table1": cmd_table1,
     "run": cmd_run,
     "summary": cmd_summary,
+    "graphgen": cmd_graphgen,
+    "partitions": cmd_partitions,
     "all": cmd_all,
 }
 

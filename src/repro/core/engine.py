@@ -72,6 +72,7 @@ select it end to end; results come back as the same
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -88,7 +89,7 @@ from repro.core.ranker import MIN_MEAN_WAIT
 from repro.graph.partition import Partition, make_partition
 from repro.graph.webgraph import WebGraph
 from repro.linalg.jacobi import JacobiWorkspace, csr_matvec_into, jacobi_solve
-from repro.linalg.norms import relative_l1_error
+from repro.linalg.norms import l1_norm
 from repro.net.bandwidth import TrafficAccountant
 from repro.net.failures import BernoulliLoss, NoLoss
 from repro.net.latency import FixedLatency
@@ -96,6 +97,7 @@ from repro.net.message import ScoreUpdate
 from repro.net.simulator import Simulator
 from repro.net.transport import build_transport
 from repro.overlay import build_overlay
+from repro.utils.memory import trim_heap
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = ["SynchronousEngine"]
@@ -184,57 +186,76 @@ class SynchronousEngine:
         # One block-diagonal CSR for every in-group operator: row i of
         # group g's block becomes global row offset[g]+i with the same
         # stored values in the same order, so SpMV results match the
-        # per-block products bit for bit.
-        self._a_all = sp.block_diag(blocks.diag, format="csr")
-        # One whole-system cut matrix: block-diagonal stack of every
-        # group's stacked efferent operator, then compressed to its
-        # structurally nonzero rows.  A dense efferent segment's zero
-        # rows are always exactly +0.0 in the event engine too, and
-        # adding +0.0 to a nonnegative score is a bitwise no-op, so
+        # per-block products bit for bit.  Only the dpr2 sweep uses
+        # it, and it duplicates every diag block — build lazily so
+        # dpr1 runs (the out-of-core default) never pay the copy.
+        self._a_all_cache: Optional[sp.csr_matrix] = None
+        # One whole-system cut matrix: conceptually the block-diagonal
+        # stack of every group's stacked efferent operator, compressed
+        # to its structurally nonzero rows.  A dense efferent segment's
+        # zero rows are always exactly +0.0 in the event engine too,
+        # and adding +0.0 to a nonnegative score is a bitwise no-op, so
         # computing/summing only the nonzero rows is exact (see module
         # docstring).  Output segment g holds group g's efferent
         # vectors, destinations ascending.
-        eff_ops = [blocks.efferent_operator(g) for g in range(k)]
-        cut_full = sp.block_diag(eff_ops, format="csr")
-        row_nnz = np.diff(cut_full.indptr)
-        nz_mask = row_nnz > 0
-        # Prefix sum over the mask: original dense Y row -> compressed
-        # Y row (valid where nz_mask holds).
-        prefix = np.concatenate([[0], np.cumsum(nz_mask)])
-        n_nz = int(prefix[-1])
-        # Removing empty rows moves no stored data: reuse the data and
-        # index arrays verbatim and recompute only the row pointer.
-        comp_indptr = np.concatenate(
-            [[0], np.cumsum(row_nnz[nz_mask])]
-        ).astype(cut_full.indptr.dtype)
-        self._cut = sp.csr_matrix(
-            (cut_full.data, cut_full.indices, comp_indptr),
-            shape=(n_nz, n_total),
-        )
-
-        # Per ordered (src, dst) pair, in emission order (src group
-        # ascending, destinations ascending — the event engine's loss
-        # draw order): the pair's slice of the *compressed* Y vector,
-        # the destination-local indices of its nonzero rows, and its
+        #
+        # Assembled directly in compressed form, pair by pair: the
+        # dense stack has K·n rows (gigabytes of row pointers alone at
+        # 1e7 pages), while the compressed matrix is bounded by the cut
+        # links.  Walking pairs in (source ascending, destination
+        # ascending) order concatenates each cross block's stored data
+        # verbatim in exactly the row order the block-diagonal stack
+        # would produce, so the resulting matrix — and every SpMV over
+        # it — is bit-identical to the dense-then-compress build.
+        #
+        # Alongside the matrix, per ordered (src, dst) pair in that
+        # same emission order (also the event engine's loss draw
+        # order): the pair's slice of the *compressed* Y vector, the
+        # destination-local indices of its nonzero rows, and its
         # link-record count for byte accounting.
+        idx_dtype = np.int32 if n_total <= np.iinfo(np.int32).max else np.int64
         self._pairs: List[Tuple[int, int, slice, np.ndarray, int]] = []
-        y_base = 0
+        data_parts: List[np.ndarray] = []
+        idx_parts: List[np.ndarray] = []
+        nnz_parts: List[np.ndarray] = []
+        n_nz = 0
         for g in range(k):
-            seg = y_base
             for h in blocks.destinations_of(g):
-                n_rows = sizes[h]
-                local_idx = np.flatnonzero(nz_mask[seg : seg + n_rows])
+                block = blocks.cross[(g, h)]
+                row_nnz = np.diff(block.indptr)
+                local_idx = np.flatnonzero(row_nnz)
+                data_parts.append(block.data)
+                idx_parts.append(
+                    block.indices.astype(idx_dtype) + idx_dtype(offsets[g])
+                )
+                nnz_parts.append(row_nnz[local_idx])
                 self._pairs.append(
                     (
                         g,
                         h,
-                        slice(int(prefix[seg]), int(prefix[seg + n_rows])),
+                        slice(n_nz, n_nz + int(local_idx.size)),
                         local_idx,
                         self.system.cross_records(g, h),
                     )
                 )
-                seg += n_rows
-            y_base += blocks.efferent_rows(g)
+                n_nz += int(local_idx.size)
+        comp_indptr = np.zeros(n_nz + 1, dtype=idx_dtype)
+        if nnz_parts:
+            np.cumsum(
+                np.concatenate(nnz_parts).astype(idx_dtype), out=comp_indptr[1:]
+            )
+        self._cut = sp.csr_matrix(
+            (
+                np.concatenate(data_parts)
+                if data_parts
+                else np.zeros(0, dtype=np.float64),
+                np.concatenate(idx_parts)
+                if idx_parts
+                else np.zeros(0, dtype=idx_dtype),
+                comp_indptr,
+            ),
+            shape=(n_nz, n_total),
+        )
         self._pair_cslice: Dict[Tuple[int, int], slice] = {
             (g, h): csl for g, h, csl, _, _ in self._pairs
         }
@@ -242,19 +263,36 @@ class SynchronousEngine:
             (g, h): idx for g, h, _, idx, _ in self._pairs
         }
         self._offsets = offsets
+        # The cut matrix and pair tables above are the last copies the
+        # engine needs of the cross-link structure; every later step
+        # (calibration replay, afferent matrix, per-group solves,
+        # result assembly) works off them and the diagonal blocks.
+        blocks.release_cross()
 
         # Mutable round state.
         self._r = np.zeros(n_total, dtype=np.float64)
-        self._ping = np.zeros(n_total, dtype=np.float64)
-        self._scratch = np.zeros(n_total, dtype=np.float64)
+        # dpr2's sweep ping-pong buffers — allocated on first dpr2
+        # round so dpr1 runs never carry the two extra n-vectors.
+        self._ping: Optional[np.ndarray] = None
+        self._scratch: Optional[np.ndarray] = None
         self._x = np.zeros(n_total, dtype=np.float64)
-        self._f = np.zeros(n_total, dtype=np.float64)
+        # Whole-system f = βE + X is only materialized by dpr2's global
+        # sweep; dpr1 assembles each group's f into one shared
+        # max-group-size buffer right before its solve (same
+        # elementwise add over the same slices, so same bits).
+        self._f: Optional[np.ndarray] = None
+        self._fbuf = np.empty(max(sizes) if sizes else 0, dtype=np.float64)
         self._y = np.zeros(n_nz, dtype=np.float64)
-        self._beta_e = (
-            np.concatenate(self.system.beta_e)
-            if k > 0 and n_total > 0
-            else np.zeros(n_total, dtype=np.float64)
-        )
+        # βE segment by segment straight from e_full — same products,
+        # same bits as concatenating ``system.beta_e``, without forcing
+        # that per-group list into existence.
+        self._beta_e = np.empty(n_total, dtype=np.float64)
+        for g in range(k):
+            np.multiply(
+                self.system.beta,
+                self.system.e_full[blocks.pages[g]],
+                out=self._beta_e[self._slices[g]],
+            )
         #: Newest afferent vector (compressed to its nonzero elements)
         #: per source, per destination group — insertion-ordered
         #: exactly like ``DPRNode._latest_values``.  Used only under
@@ -265,7 +303,11 @@ class SynchronousEngine:
         self._afferent: Optional[sp.csr_matrix] = None
         #: Destinations that received mail last round (refresh set).
         self._mail: set = set()
-        self._workspaces = [JacobiWorkspace(sizes[g]) for g in range(k)]
+        # Per-group solves run sequentially and copy their result out
+        # before the next begins, so all K workspaces can be views of
+        # one max-group-size allocation (3 vectors total, not 3·n).
+        shared_ws = JacobiWorkspace(max(sizes) if sizes else 0)
+        self._workspaces = [shared_ws.sliced(sizes[g]) for g in range(k)]
         self._last_delta = np.full(k, np.inf, dtype=np.float64)
         self._inner_sweeps = np.zeros(k, dtype=np.int64)
         self._rounds = 0
@@ -275,6 +317,20 @@ class SynchronousEngine:
 
         #: Common tick period of the synchronous schedule.
         self.period = max(0.5 * (config.t1 + config.t2), MIN_MEAN_WAIT)
+
+        # The grouped-operator build churned through chunk temporaries
+        # whose freed pages glibc retains; hand them back so the run's
+        # steady-state growth starts from the live set and the process
+        # high-water stays at the build peak (see repro.utils.memory).
+        trim_heap()
+
+    def _a_all(self) -> sp.csr_matrix:
+        """The block-diagonal in-group operator, built on first use."""
+        if self._a_all_cache is None:
+            self._a_all_cache = sp.block_diag(
+                self.system.blocks.diag, format="csr"
+            )
+        return self._a_all_cache
 
     # ------------------------------------------------------------------
     @property
@@ -286,9 +342,9 @@ class SynchronousEngine:
         """Current per-group local rank vectors (views, group order)."""
         return [self._r[self._slices[g]] for g in range(self.n_groups)]
 
-    def assemble_ranks(self) -> np.ndarray:
+    def assemble_ranks(self, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Current global rank vector in original page order."""
-        return self.system.assemble(self.group_ranks())
+        return self.system.assemble(self.group_ranks(), out=out)
 
     def calibrated_round_traffic(self):
         """Exact traffic of one lossless round as a snapshot at t=0.
@@ -403,34 +459,39 @@ class SynchronousEngine:
         scalar (a stable sort by row preserves the arrival order the
         column blocks were appended in).
         """
-        rows_parts: List[np.ndarray] = []
-        cols_parts: List[np.ndarray] = []
+        n_rows = self._x.size
+        idx_dtype = np.int32 if self._y.size < 2**31 else np.int64
+        # Two-pass counting scatter instead of a global stable argsort:
+        # each pair's row list (``np.flatnonzero`` output) is unique and
+        # ascending, so walking pairs in arrival order and appending at
+        # per-row cursors yields each row's entries in arrival order —
+        # exactly what a stable sort of the concatenated (row, col)
+        # pairs by row produces — without ever materializing the
+        # concatenated int64 row/col/permutation arrays.
+        cnt = np.zeros(n_rows, dtype=idx_dtype)
+        for src, dst in order:
+            cnt[int(self._offsets[dst]) :][self._pair_idx[(src, dst)]] += 1
+        nnz = int(cnt.sum())
+        # Exclusive prefix sums seeded at indptr[1:] become per-row
+        # write cursors; pass 2 advances them in place, leaving the
+        # final (inclusive) row pointers with no separate cursor array.
+        indptr = np.zeros(n_rows + 1, dtype=idx_dtype)
+        if n_rows > 1:
+            np.cumsum(cnt[:-1], out=indptr[2:])
+        del cnt
+        cursor = indptr[1:]
+        cols = np.empty(nnz, dtype=idx_dtype)
         for src, dst in order:
             idx = self._pair_idx[(src, dst)]
             csl = self._pair_cslice[(src, dst)]
-            rows_parts.append(self._offsets[dst] + idx)
-            cols_parts.append(
-                np.arange(csl.start, csl.start + idx.size, dtype=np.int64)
+            cur = cursor[int(self._offsets[dst]) :]
+            pos = cur[idx]
+            cols[pos] = np.arange(
+                csl.start, csl.start + idx.size, dtype=idx_dtype
             )
-        n_rows = self._x.size
-        if rows_parts:
-            rows = np.concatenate(rows_parts)
-            cols = np.concatenate(cols_parts)
-        else:
-            rows = np.empty(0, dtype=np.int64)
-            cols = np.empty(0, dtype=np.int64)
-        perm = np.argsort(rows, kind="stable")
-        rows, cols = rows[perm], cols[perm]
-        indptr = np.concatenate(
-            [[0], np.cumsum(np.bincount(rows, minlength=n_rows))]
-        )
-        idx_dtype = np.int32 if self._y.size < 2**31 else np.int64
+            cur[idx] += 1
         return sp.csr_matrix(
-            (
-                np.ones(cols.size, dtype=np.float64),
-                cols.astype(idx_dtype, copy=False),
-                indptr.astype(idx_dtype, copy=False),
-            ),
+            (np.ones(nnz, dtype=np.float64), cols, indptr),
             shape=(n_rows, self._y.size),
         )
 
@@ -484,15 +545,20 @@ class SynchronousEngine:
             for src, vec in self._latest[h].items():
                 xh[self._pair_idx[(src, h)]] += vec
         self._mail = set()
-        # f = βE + X over the whole system (same elementwise add the
-        # nodes perform per group; a cached unchanged f re-adds to the
-        # same bits, so recomputing globally is safe).
-        np.add(self._beta_e, self._x, out=self._f)
 
         if cfg.algorithm == "dpr2":
+            # f = βE + X over the whole system (same elementwise add
+            # the nodes perform per group; a cached unchanged f re-adds
+            # to the same bits, so recomputing globally is safe).
+            if self._f is None:
+                self._f = np.empty_like(self._r)
+            np.add(self._beta_e, self._x, out=self._f)
             # One whole-system sweep: R ← A·R + f, fused with the
             # per-group ‖ΔR‖₁ reductions over contiguous slices.
-            csr_matvec_into(self._a_all, self._r, self._ping)
+            if self._ping is None:
+                self._ping = np.zeros_like(self._r)
+                self._scratch = np.zeros_like(self._r)
+            csr_matvec_into(self._a_all(), self._r, self._ping)
             np.add(self._ping, self._f, out=self._ping)
             np.subtract(self._ping, self._r, out=self._scratch)
             np.abs(self._scratch, out=self._scratch)
@@ -511,7 +577,11 @@ class SynchronousEngine:
                     self._last_delta[g] = 0.0
                     continue
                 r_g = self._r[sl]
-                f_g = self._f[sl]
+                # Group g's f = βE + X assembled into the shared
+                # buffer: the identical per-slice add the global-f
+                # path performed, one group at a time.
+                f_g = self._fbuf[: sl.stop - sl.start]
+                np.add(self._beta_e[sl], self._x[sl], out=f_g)
                 ws = self._workspaces[g]
                 if cfg.inner_solver == "gauss_seidel":
                     from repro.linalg.acceleration import gauss_seidel_solve
@@ -579,13 +649,29 @@ class SynchronousEngine:
         quiescence_time: Optional[float] = None
         quiet_streak = 0
 
+        # Sampling reuses one n-page buffer and the cached reference
+        # norm so a long run allocates nothing per sample.  The error
+        # below performs the exact subtract/abs/sum/divide sequence of
+        # relative_l1_error (l1_norm(x - ref) / l1_norm(ref)), so the
+        # recorded values are bit-identical to the event engine's; the
+        # mean is taken before the in-place subtract clobbers ranks.
+        ranks_buf = np.empty(self.graph.n_pages, dtype=np.float64)
+        denom = l1_norm(self.reference)
+
         def sample(t: float) -> None:
             nonlocal converged, target_time, quiescent, quiescence_time, quiet_streak
-            ranks = self.assemble_ranks()
-            err = relative_l1_error(ranks, self.reference)
+            ranks = self.assemble_ranks(out=ranks_buf)
+            mean_rank = float(ranks.mean()) if ranks.size else 0.0
+            np.subtract(ranks, self.reference, out=ranks)
+            np.abs(ranks, out=ranks)
+            num = float(ranks.sum())
+            if denom == 0.0:
+                err = 0.0 if num == 0.0 else math.inf
+            else:
+                err = num / denom
             trace.times.append(t)
             trace.relative_errors.append(err)
-            trace.mean_ranks.append(float(ranks.mean()) if ranks.size else 0.0)
+            trace.mean_ranks.append(mean_rank)
             trace.max_outer_iterations.append(self._rounds)
             trace.mean_outer_iterations.append(float(self._rounds))
             snap = self.accountant.snapshot(t)
@@ -636,7 +722,9 @@ class SynchronousEngine:
             self._round()
 
         return assemble_run_result(
-            ranks=self.assemble_ranks(),
+            # The sample buffer is dead after the loop, so the final
+            # assembly fills it and hands it to the result outright.
+            ranks=self.assemble_ranks(out=ranks_buf),
             reference=self.reference,
             trace=trace,
             converged=converged,

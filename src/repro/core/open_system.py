@@ -109,10 +109,22 @@ class GroupSystem:
             if e_full.shape != (n,):
                 raise ValueError(f"E must be scalar or shape ({n},)")
         self.e_full = e_full
-        #: Per-group constant term ``βE`` of eq. 3.4.
-        self.beta_e: List[np.ndarray] = [
-            self.beta * e_full[self.blocks.pages[g]] for g in range(self.n_groups)
-        ]
+        self._beta_e: Optional[List[np.ndarray]] = None
+
+    @property
+    def beta_e(self) -> List[np.ndarray]:
+        """Per-group constant term ``βE`` of eq. 3.4 (built on first use).
+
+        The event engine hands one segment to each node; the flat
+        engine assembles its own concatenated copy straight from
+        ``e_full`` and never forces this list into existence.
+        """
+        if self._beta_e is None:
+            self._beta_e = [
+                self.beta * self.e_full[self.blocks.pages[g]]
+                for g in range(self.n_groups)
+            ]
+        return self._beta_e
 
     # ------------------------------------------------------------------
     @property
@@ -165,13 +177,23 @@ class GroupSystem:
         return int(block.nnz) if block is not None else 0
 
     # ------------------------------------------------------------------
-    def assemble(self, group_ranks: List[np.ndarray]) -> np.ndarray:
-        """Scatter per-group local vectors back into a global vector."""
+    def assemble(
+        self, group_ranks: List[np.ndarray], out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Scatter per-group local vectors back into a global vector.
+
+        ``out`` may supply a reusable ``(n_pages,)`` float64 buffer:
+        the groups partition the page set, so every element is
+        overwritten and no clearing is needed.
+        """
         if len(group_ranks) != self.n_groups:
             raise ValueError(
                 f"expected {self.n_groups} group vectors, got {len(group_ranks)}"
             )
-        out = np.zeros(self.n_pages, dtype=np.float64)
+        if out is None:
+            out = np.zeros(self.n_pages, dtype=np.float64)
+        elif out.shape != (self.n_pages,) or out.dtype != np.float64:
+            raise ValueError(f"out must be float64 of shape ({self.n_pages},)")
         for g, r in enumerate(group_ranks):
             pages = self.blocks.pages[g]
             if r.shape != (pages.size,):

@@ -27,6 +27,11 @@ from repro.experiments.ablations import (
     TradeoffResult,
     run_time_vs_bandwidth,
 )
+from repro.experiments.partitions import (
+    BAKEOFF_STRATEGIES,
+    PartitionBakeoffResult,
+    run_partition_bakeoff,
+)
 from repro.experiments.report import ReproductionReport, run_all, EXPERIMENTS
 
 __all__ = [
@@ -51,6 +56,9 @@ __all__ = [
     "run_overlay_hops",
     "TradeoffResult",
     "run_time_vs_bandwidth",
+    "BAKEOFF_STRATEGIES",
+    "PartitionBakeoffResult",
+    "run_partition_bakeoff",
     "ReproductionReport",
     "run_all",
     "EXPERIMENTS",

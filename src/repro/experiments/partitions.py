@@ -1,0 +1,244 @@
+"""Partitioner bake-off: every placement strategy over one graph.
+
+The paper commits to hash-by-site placement from first principles
+(§4.1) and never measures the alternatives; Suzuki–Ishii (PAPERS.md)
+shows the clustering choice dominates communication cost.  This
+experiment runs the full contender set — the paper baseline
+(``site``), both rejected strategies (``url``, ``random``), the
+rendezvous and contiguous extensions, and the greedy min-cut streamer
+(``ldg``) — over *identical* graphs and reports, per strategy:
+
+* cut links and cut fraction (the per-iteration payload, §4.4's ``W``);
+* imbalance (max/mean pages per ranker) and split sites (violations
+  of the paper's locality assumption);
+* per-round bytes, twice: the §4.4 closed-form estimate and the flat
+  engine's measured calibration round;
+* rounds to the target relative error against the centralized
+  reference (convergence is partition-dependent through the
+  inner/outer solve split).
+
+Every per-strategy point routes through the artifact cache
+(:func:`repro.parallel.cache.cached_point`), so re-running the
+bake-off with a warm cache reproduces the table byte-identically
+without touching the engine.  The experiment works unchanged on
+memory-mapped graphs (cut statistics, LDG, and the engine's operator
+build all stream CSR chunks), which is what makes the 1e7-page smoke
+configuration feasible — at that scale pass ``measure_rank=False`` to
+keep the bake-off to cut statistics and round-traffic estimates.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.graph.partition import make_partition
+from repro.graph.stats import partition_cut_statistics
+from repro.graph.webgraph import WebGraph
+from repro.parallel.cache import array_fingerprint, cached_point
+
+__all__ = [
+    "BAKEOFF_STRATEGIES",
+    "PartitionBakeoffResult",
+    "partition_bakeoff_point",
+    "run_partition_bakeoff",
+]
+
+#: The contender set: paper baseline (site), the paper's rejected
+#: alternatives (url, random), the repo's stability extension
+#: (rendezvous), the didactic splitter (contiguous), and the greedy
+#: min-cut streamer (ldg).
+BAKEOFF_STRATEGIES: Tuple[str, ...] = (
+    "site",
+    "url",
+    "rendezvous",
+    "random",
+    "contiguous",
+    "ldg",
+)
+
+#: Common tick period of the bake-off's convergence runs.
+_PERIOD = 6.0
+
+
+@dataclass
+class PartitionBakeoffResult:
+    """One bake-off table: per-strategy placement and traffic metrics."""
+
+    n_pages: int
+    n_groups: int
+    target_relative_error: float
+    measure_rank: bool
+    points: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple]:
+        """Raw result rows (one tuple per table line)."""
+        out = []
+        for strategy, p in self.points.items():
+            row = [
+                strategy,
+                int(p["n_cut_links"]),
+                p["cut_fraction"],
+                p["imbalance"],
+                int(p["n_split_sites"]),
+                p["round_bytes_paper"],
+                p.get("round_bytes_measured", float("nan")),
+                int(p["rounds_to_target"]) if p.get("rounds_to_target", -1) >= 0 else "-",
+            ]
+            out.append(tuple(row))
+        return out
+
+    def format(self) -> str:
+        """Paper-shaped text table of this result."""
+        title = (
+            f"partitioner bake-off (n={self.n_pages}, K={self.n_groups}, "
+            f"ε={self.target_relative_error:g}"
+            + ("" if self.measure_rank else ", cut-only")
+            + ")"
+        )
+        return format_table(
+            [
+                "strategy",
+                "cut links",
+                "cut frac",
+                "imbalance",
+                "split sites",
+                "bytes/round (4.x)",
+                "bytes/round (meas)",
+                "rounds to ε",
+            ],
+            self.rows(),
+            title=title,
+        )
+
+
+def partition_bakeoff_point(
+    graph: WebGraph,
+    reference: Optional[np.ndarray],
+    *,
+    strategy: str,
+    n_groups: int,
+    seed: int,
+    target_relative_error: float,
+    max_time: float,
+    measure_rank: bool,
+) -> Dict[str, float]:
+    """All bake-off metrics for one strategy (cached)."""
+
+    def compute() -> Dict[str, float]:
+        t0 = time.perf_counter()
+        with warnings.catch_warnings():
+            # Split sites are a *column* here, not console noise.
+            warnings.simplefilter("ignore", UserWarning)
+            part = make_partition(graph, n_groups, strategy, seed=seed)
+        point: Dict[str, float] = {
+            "partition_seconds": time.perf_counter() - t0,
+        }
+        point.update(partition_cut_statistics(graph, part).as_dict())
+
+        from repro.core.coordinator import DistributedConfig
+        from repro.core.engine import SynchronousEngine
+
+        config = DistributedConfig(
+            n_groups=n_groups,
+            algorithm="dpr1",
+            partition_strategy=strategy,
+            transport="indirect",
+            overlay="pastry",
+            schedule="sync",
+            engine="flat",
+            t1=_PERIOD,
+            t2=_PERIOD,
+            sample_interval=_PERIOD,
+            seed=seed,
+        )
+        ref = (
+            reference
+            if reference is not None
+            else np.full(graph.n_pages, 1.0 / max(graph.n_pages, 1))
+        )
+        engine = SynchronousEngine(graph, config, partition=part, reference=ref)
+        paper = engine.paper_round_estimate()
+        point["round_bytes_paper"] = float(paper["data_bytes"])
+        point["round_messages_paper"] = float(paper["data_messages"])
+        round_snap = engine.calibrated_round_traffic()
+        point["round_bytes_measured"] = float(round_snap.total_bytes)
+        point["round_messages_measured"] = float(round_snap.total_messages)
+        if measure_rank:
+            res = engine.run(
+                max_time=max_time,
+                target_relative_error=target_relative_error,
+            )
+            point["rounds_to_target"] = (
+                float(res.max_outer_iterations) if res.converged else -1.0
+            )
+            point["converged"] = float(res.converged)
+            point["final_relative_error"] = float(res.final_relative_error)
+            point["run_bytes_total"] = float(res.traffic.total_bytes)
+        else:
+            point["rounds_to_target"] = -1.0
+        return point
+
+    return cached_point(
+        "point/partition_bakeoff",
+        {
+            "graph": graph.fingerprint(),
+            "reference": None if reference is None else array_fingerprint(reference),
+            "strategy": strategy,
+            "n_groups": n_groups,
+            "seed": seed,
+            "target": target_relative_error,
+            "max_time": max_time,
+            "measure_rank": measure_rank,
+            "period": _PERIOD,
+        },
+        compute,
+    )
+
+
+def run_partition_bakeoff(
+    graph: WebGraph,
+    *,
+    n_groups: int = 16,
+    strategies: Sequence[str] = BAKEOFF_STRATEGIES,
+    seed: int = 2003,
+    target_relative_error: float = 1e-4,
+    max_time: float = 3000.0,
+    measure_rank: bool = True,
+) -> PartitionBakeoffResult:
+    """Run the bake-off over ``strategies`` on one graph.
+
+    With ``measure_rank`` (default) each strategy also runs the flat
+    engine to ``target_relative_error`` against the centralized
+    reference — the rounds-to-ε column.  Disable it at smoke scales
+    (1e7 pages) where the centralized solve is the bottleneck; the
+    cut/traffic columns remain exact.
+    """
+    reference = None
+    if measure_rank:
+        from repro.experiments.workloads import reference_ranks
+
+        reference = reference_ranks(graph)
+    result = PartitionBakeoffResult(
+        n_pages=graph.n_pages,
+        n_groups=n_groups,
+        target_relative_error=target_relative_error,
+        measure_rank=measure_rank,
+    )
+    for strategy in strategies:
+        result.points[strategy] = partition_bakeoff_point(
+            graph,
+            reference,
+            strategy=strategy,
+            n_groups=n_groups,
+            seed=seed,
+            target_relative_error=target_relative_error,
+            max_time=max_time,
+            measure_rank=measure_rank,
+        )
+    return result

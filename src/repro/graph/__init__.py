@@ -12,10 +12,13 @@ redistributable, so this package provides:
   :func:`~repro.graph.generators.google_contest_like`, matched to the
   aggregate statistics the paper reports.
 * :mod:`~repro.graph.partition` — the three partitioning strategies of
-  paper §4.1 (random, hash-by-URL, hash-by-site).
+  paper §4.1 (random, hash-by-URL, hash-by-site) plus the rendezvous,
+  contiguous, and greedy-min-cut (LDG) extensions.
 * :mod:`~repro.graph.stats` — structural statistics (degree
   distributions, intra-site link fraction, partition cut metrics).
-* :mod:`~repro.graph.io` — simple text/NPZ persistence.
+* :mod:`~repro.graph.io` — persistence: a compressed ``.npz`` archive
+  and a memory-mappable ``.npy`` directory format for out-of-core
+  graphs (see DESIGN.md §12).
 """
 
 from repro.graph.webgraph import WebGraph
@@ -35,6 +38,8 @@ from repro.graph.partition import (
     partition_by_site_hash,
     partition_rendezvous,
     partition_contiguous,
+    partition_ldg,
+    count_split_sites,
     make_partition,
 )
 from repro.graph.stats import (
@@ -45,7 +50,12 @@ from repro.graph.stats import (
     GraphSummary,
     summarize,
 )
-from repro.graph.io import save_webgraph, load_webgraph
+from repro.graph.io import (
+    save_webgraph,
+    load_webgraph,
+    WebGraphDirWriter,
+    backing_memmap,
+)
 from repro.graph.datasets import paper_dataset, load_snap_edge_list
 from repro.graph.validation import check_webgraph, WebGraphInvariantError
 
@@ -64,6 +74,8 @@ __all__ = [
     "partition_by_site_hash",
     "partition_rendezvous",
     "partition_contiguous",
+    "partition_ldg",
+    "count_split_sites",
     "make_partition",
     "degree_statistics",
     "intra_site_link_fraction",
@@ -73,6 +85,8 @@ __all__ = [
     "summarize",
     "save_webgraph",
     "load_webgraph",
+    "WebGraphDirWriter",
+    "backing_memmap",
     "paper_dataset",
     "load_snap_edge_list",
     "check_webgraph",

@@ -23,7 +23,8 @@ closed form.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Optional, Union
 
 import numpy as np
 
@@ -43,7 +44,14 @@ __all__ = [
     "complete_web",
     "two_site_web",
     "powerlaw_cluster_web",
+    "DEFAULT_CHUNK_PAGES",
 ]
+
+#: Pages per block on the streaming generation path.  At the default
+#: mean out-degree this bounds the working set of transient edge-block
+#: arrays (sources, sites, Zipf draws, targets, scatter slots) near
+#: 10 MB per chunk.
+DEFAULT_CHUNK_PAGES = 1 << 16
 
 
 def _zipf_indices(
@@ -71,6 +79,35 @@ def _zipf_indices(
     return np.clip(idx, 0, domain - 1)
 
 
+def _release_written(writer, lo: int, hi: int) -> None:
+    """Flush a just-written range of a dir writer's indices memmap and
+    hand its pages back to the OS, keeping streamed builds' resident
+    set at one chunk.  No-op for in-memory builds (``writer is None``);
+    data is safe because ``flush`` makes the pages clean before
+    ``MADV_DONTNEED`` drops them (later reads repopulate from the
+    file).
+    """
+    if writer is None:
+        return
+    from repro.graph.io import madvise_dontneed
+
+    writer.indices.flush()
+    madvise_dontneed(writer.indices, lo, hi)
+
+
+def _edge_slots(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """CSR write positions: ``counts[i]`` consecutive slots at ``starts[i]``.
+
+    Lets a streaming generator scatter one block of edges into its
+    final CSR location (leaving gaps for edges of a later phase)
+    without ever sorting a global edge list.
+    """
+    total = int(counts.sum())
+    first = np.cumsum(counts) - counts
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(first, counts)
+    return np.repeat(starts, counts) + ramp
+
+
 def google_contest_like(
     n_pages: int = 10_000,
     n_sites: int = 100,
@@ -82,6 +119,8 @@ def google_contest_like(
     site_size_exponent: float = 0.9,
     popularity_exponent: float = 0.8,
     seed: RngLike = 0,
+    out: Optional[Union[str, os.PathLike]] = None,
+    chunk_pages: Optional[int] = None,
 ) -> WebGraph:
     """Generate a web graph with the paper dataset's aggregate shape.
 
@@ -109,6 +148,23 @@ def google_contest_like(
         Zipf exponent of within-site target popularity (0 = uniform).
     seed:
         Seed or generator for reproducibility.
+    out:
+        Stream the graph into this ``.npy``-directory path (see
+        :mod:`repro.graph.io`) and return the memory-mapped load.
+        Selects the out-of-core build, which never materializes a
+        global edge list — peak memory is O(n_pages) plus one edge
+        block, not O(n_links).
+    chunk_pages:
+        Pages per streamed edge block.  Setting it without ``out``
+        runs the chunked build into an in-memory indices array (useful
+        to bound transient memory, and how the tests prove the two
+        paths bit-identical).  Default
+        :data:`DEFAULT_CHUNK_PAGES` when ``out`` is given, else the
+        eager path.
+
+    The streamed and eager paths draw from the RNG in exactly the same
+    sequence, so for equal parameters they produce *bit-identical*
+    graphs (asserted in ``tests/test_outofcore.py``).
 
     Returns
     -------
@@ -139,6 +195,25 @@ def google_contest_like(
     site_start = np.zeros(n_sites, dtype=np.int64)
     np.cumsum(sizes[:-1], out=site_start[1:])
     site_of = np.repeat(np.arange(n_sites, dtype=np.int64), sizes)
+    site_names = tuple(f"www.site{i:04d}.edu" for i in range(n_sites))
+
+    if out is not None or chunk_pages is not None:
+        return _google_contest_streamed(
+            n_pages,
+            n_sites,
+            rng,
+            sizes=sizes,
+            site_start=site_start,
+            site_of=site_of,
+            site_names=site_names,
+            mean_out_degree=mean_out_degree,
+            internal_link_fraction=internal_link_fraction,
+            intra_site_fraction=intra_site_fraction,
+            degree_sigma=degree_sigma,
+            popularity_exponent=popularity_exponent,
+            out=out,
+            chunk_pages=chunk_pages or DEFAULT_CHUNK_PAGES,
+        )
 
     # --- out-degrees: log-normal with the requested mean --------------
     mu = np.log(mean_out_degree) - 0.5 * degree_sigma**2
@@ -191,10 +266,153 @@ def google_contest_like(
 
     src = np.concatenate([intra_src, inter_src])
     dst = np.concatenate([intra_dst, inter_dst])
-    site_names = tuple(f"www.site{i:04d}.edu" for i in range(n_sites))
     return WebGraph(
         n_pages, src, dst, site_of=site_of, external_out=n_ext, site_names=site_names
     )
+
+
+def _google_contest_streamed(
+    n_pages: int,
+    n_sites: int,
+    rng: np.random.Generator,
+    *,
+    sizes: np.ndarray,
+    site_start: np.ndarray,
+    site_of: np.ndarray,
+    site_names: tuple,
+    mean_out_degree: float,
+    internal_link_fraction: float,
+    intra_site_fraction: float,
+    degree_sigma: float,
+    popularity_exponent: float,
+    out: Optional[Union[str, os.PathLike]],
+    chunk_pages: int,
+) -> WebGraph:
+    """Out-of-core build of :func:`google_contest_like`.
+
+    Draws from ``rng`` in exactly the eager path's sequence, so the
+    result is bit-identical for equal parameters:
+
+    * per-page arrays (degrees, external/intra splits) use the same
+      single vectorized calls;
+    * intra-site targets are generated in page-order blocks — numpy's
+      ``Generator.random`` consumes the bitstream sequentially, so N
+      blocked draws equal one draw of size N;
+    * inter-site targets stay a single global phase: the collision
+      resample loop keys off the *global* ``bad`` pattern, which no
+      blocked schedule can reproduce.  Inter links are ~
+      ``(1-intra_site_fraction)`` of internal links (paper: 10%), so
+      this phase is small compared to the intra stream.
+
+    The eager path stable-sorts ``concat([intra, inter])`` by source,
+    which lands each page's intra targets (in draw order) before its
+    inter targets — exactly the layout the blocked scatter writes via
+    :func:`_edge_slots`, leaving per-page gaps for the inter phase.
+    """
+    if chunk_pages < 1:
+        raise ValueError("chunk_pages must be >= 1")
+
+    mu = np.log(mean_out_degree) - 0.5 * degree_sigma**2
+    degrees = np.floor(rng.lognormal(mu, degree_sigma, size=n_pages)).astype(np.int64)
+    degrees = np.clip(degrees, 0, max(1, n_pages // 2))
+    n_ext = rng.binomial(degrees, 1.0 - internal_link_fraction)
+    n_int = degrees - n_ext
+    n_intra = rng.binomial(n_int, intra_site_fraction)
+    n_inter = n_int - n_intra
+    if n_sites == 1:
+        n_intra = n_intra + n_inter
+        n_inter = np.zeros_like(n_inter)
+    # Only the split counts matter from here on; at 10M pages each
+    # retired int64 array is 80 MB of peak RSS.
+    del degrees, n_int
+
+    indptr = np.zeros(n_pages + 1, dtype=np.int64)
+    np.cumsum(n_intra + n_inter, out=indptr[1:])
+    total = int(indptr[-1])
+
+    writer = None
+    if out is not None:
+        from repro.graph.io import WebGraphDirWriter
+
+        writer = WebGraphDirWriter(
+            out,
+            indptr=indptr,
+            site_of=site_of,
+            external_out=n_ext,
+            site_names=site_names,
+        )
+        indices = writer.indices
+    else:
+        indices = np.empty(total, dtype=np.int64)
+
+    try:
+        # --- intra-site links, one page block at a time ----------------
+        for p0 in range(0, n_pages, chunk_pages):
+            p1 = min(p0 + chunk_pages, n_pages)
+            cnt = n_intra[p0:p1]
+            m = int(cnt.sum())
+            if m == 0:
+                continue
+            src = np.repeat(np.arange(p0, p1, dtype=np.int64), cnt)
+            src_site = site_of[src]
+            dom = sizes[src_site]
+            local = _zipf_indices(rng, m, dom, popularity_exponent)
+            dst = site_start[src_site] + local
+            loops = dst == src
+            if loops.any():
+                fix = (local[loops] + 1) % dom[loops]
+                dst[loops] = site_start[src_site[loops]] + fix
+            indices[_edge_slots(indptr[p0:p1], cnt)] = dst
+            _release_written(writer, int(indptr[p0]), int(indptr[p1]))
+            del src, src_site, dom, local, dst, loops
+
+        # --- inter-site links: drawn in one global phase (the target
+        # resampling consumes RNG state data-dependently, so chunked
+        # draws would change the bitstream), written chunk by chunk ---
+        if int(n_inter.sum()):
+            inter_src = np.repeat(np.arange(n_pages, dtype=np.int64), n_inter)
+            site_w = sizes.astype(np.float64)
+            site_w /= site_w.sum()
+            tgt_site = rng.choice(n_sites, size=inter_src.size, p=site_w)
+            own = site_of[inter_src]
+            for _ in range(4):
+                bad = tgt_site == own
+                if not bad.any():
+                    break
+                tgt_site[bad] = rng.choice(n_sites, size=int(bad.sum()), p=site_w)
+            still = tgt_site == own
+            tgt_site[still] = (tgt_site[still] + 1) % n_sites
+            local = _zipf_indices(rng, inter_src.size, sizes[tgt_site], popularity_exponent)
+            inter_dst = site_start[tgt_site] + local
+            del inter_src, tgt_site, own, local
+            inter_off = np.zeros(n_pages + 1, dtype=np.int64)
+            np.cumsum(n_inter, out=inter_off[1:])
+            for p0 in range(0, n_pages, chunk_pages):
+                p1 = min(p0 + chunk_pages, n_pages)
+                lo, hi = int(inter_off[p0]), int(inter_off[p1])
+                if hi > lo:
+                    slots = _edge_slots(
+                        indptr[p0:p1] + n_intra[p0:p1], n_inter[p0:p1]
+                    )
+                    indices[slots] = inter_dst[lo:hi]
+                _release_written(writer, int(indptr[p0]), int(indptr[p1]))
+
+        if writer is not None:
+            return writer.finalize(mmap=True)
+        return WebGraph.from_csr(
+            n_pages,
+            indptr,
+            indices,
+            site_of=site_of,
+            external_out=n_ext,
+            site_names=site_names,
+            copy=False,
+            validate=False,
+        )
+    except BaseException:
+        if writer is not None:
+            writer.abort()
+        raise
 
 
 def erdos_renyi_web(
@@ -204,18 +422,67 @@ def erdos_renyi_web(
     n_sites: int = 1,
     external_fraction: float = 0.0,
     seed: RngLike = 0,
+    out: Optional[Union[str, os.PathLike]] = None,
+    chunk_pages: Optional[int] = None,
 ) -> WebGraph:
-    """Uniform random graph: each page gets ``Poisson(mean)`` uniform targets."""
+    """Uniform random graph: each page gets ``Poisson(mean)`` uniform targets.
+
+    ``out`` / ``chunk_pages`` select the streaming build (same contract
+    as :func:`google_contest_like`): uniform targets are drawn in
+    page-order blocks, which consumes the RNG bitstream exactly like
+    the single global draw, so both paths are bit-identical.
+    """
     check_positive(mean_out_degree, "mean_out_degree")
     check_probability(external_fraction, "external_fraction")
     rng = as_generator(seed)
     degrees = rng.poisson(mean_out_degree, size=n_pages)
     n_ext = rng.binomial(degrees, external_fraction)
     n_int = degrees - n_ext
-    src = np.repeat(np.arange(n_pages, dtype=np.int64), n_int)
-    dst = rng.integers(0, n_pages, size=src.size, dtype=np.int64)
     site_of = np.arange(n_pages, dtype=np.int64) % n_sites
-    return WebGraph(n_pages, src, dst, site_of=site_of, external_out=n_ext)
+
+    if out is None and chunk_pages is None:
+        src = np.repeat(np.arange(n_pages, dtype=np.int64), n_int)
+        dst = rng.integers(0, n_pages, size=src.size, dtype=np.int64)
+        return WebGraph(n_pages, src, dst, site_of=site_of, external_out=n_ext)
+
+    chunk_pages = chunk_pages or DEFAULT_CHUNK_PAGES
+    if chunk_pages < 1:
+        raise ValueError("chunk_pages must be >= 1")
+    indptr = np.zeros(n_pages + 1, dtype=np.int64)
+    np.cumsum(n_int, out=indptr[1:])
+    writer = None
+    if out is not None:
+        from repro.graph.io import WebGraphDirWriter
+
+        # Match the eager path's default naming, which covers only the
+        # site ids actually present (n_pages can be < n_sites).
+        n_named = int(site_of.max()) + 1 if n_pages else 0
+        writer = WebGraphDirWriter(
+            out, indptr=indptr, site_of=site_of, external_out=n_ext,
+            site_names=tuple(f"site{i:04d}.example.edu" for i in range(n_named)),
+        )
+        indices = writer.indices
+    else:
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    try:
+        for p0 in range(0, n_pages, chunk_pages):
+            p1 = min(p0 + chunk_pages, n_pages)
+            m = int(indptr[p1] - indptr[p0])
+            if m:
+                indices[indptr[p0] : indptr[p1]] = rng.integers(
+                    0, n_pages, size=m, dtype=np.int64
+                )
+                _release_written(writer, int(indptr[p0]), int(indptr[p1]))
+        if writer is not None:
+            return writer.finalize(mmap=True)
+        return WebGraph.from_csr(
+            n_pages, indptr, indices, site_of=site_of, external_out=n_ext,
+            copy=False, validate=False,
+        )
+    except BaseException:
+        if writer is not None:
+            writer.abort()
+        raise
 
 
 def ring_web(n_pages: int, *, n_sites: int = 1) -> WebGraph:

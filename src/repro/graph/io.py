@@ -1,58 +1,447 @@
 """Persistence for :class:`~repro.graph.webgraph.WebGraph`.
 
-Graphs are stored as a single ``.npz`` archive holding the CSR arrays,
-site assignment, external-link counts and site names.  The format is
-versioned so future layouts can coexist.
+Two on-disk layouts are supported, selected by the path:
+
+* ``*.npz`` — **format version 1**: a single compressed archive
+  holding the CSR arrays, site assignment, external-link counts and
+  site names.  Compact and convenient for small graphs, but loading
+  decompresses every array into fresh memory.
+* anything else — **format version 2**: an ``.npy`` directory::
+
+      <path>/
+        meta.json          (format marker, version, shapes, counts)
+        indptr.npy         int64[n_pages + 1]
+        indices.npy        int64[n_internal_links]
+        site_of.npy        int64[n_pages]
+        external_out.npy   int64[n_pages]
+        site_names.json    list[str]
+
+  Plain ``.npy`` files can be memory-mapped, so
+  ``load_webgraph(path, mmap=True)`` returns a :class:`WebGraph` whose
+  arrays are *read-only views into the files* — no copy, O(1) resident
+  memory until pages are touched.  This is the layout the out-of-core
+  pipeline builds into (:class:`WebGraphDirWriter` fills ``indices.npy``
+  chunk by chunk while the generator streams edge blocks).
+
+Both writers are atomic: content goes to a temporary file/directory in
+the destination's parent and is renamed into place only when complete
+(``meta.json`` is written last in the directory layout, so a crashed
+writer can never leave a loadable-but-truncated graph).  Loading
+rejects unknown format versions and corrupt/incomplete files with
+pointed errors — mirroring :mod:`repro.parallel.cache` conventions.
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
-from typing import Union
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.graph.webgraph import WebGraph
 
-__all__ = ["save_webgraph", "load_webgraph", "FORMAT_VERSION"]
+__all__ = [
+    "save_webgraph",
+    "load_webgraph",
+    "WebGraphDirWriter",
+    "FORMAT_VERSION",
+    "DIR_FORMAT_VERSION",
+    "backing_memmap",
+    "madvise_dontneed",
+]
 
+#: Version of the single-file ``.npz`` layout.
 FORMAT_VERSION = 1
 
+#: Version of the ``.npy``-directory layout.
+DIR_FORMAT_VERSION = 2
 
-def save_webgraph(graph: WebGraph, path: Union[str, os.PathLike]) -> None:
-    """Serialize ``graph`` to ``path`` (``.npz``)."""
-    np.savez_compressed(
-        path,
-        version=np.int64(FORMAT_VERSION),
-        n_pages=np.int64(graph.n_pages),
-        indptr=graph.indptr,
-        indices=graph.indices,
-        site_of=graph.site_of,
-        external_out=graph.external_out,
-        site_names=np.array(graph.site_names, dtype=object),
-    )
+#: ``meta.json`` marker distinguishing webgraph directories from
+#: arbitrary directories.
+_DIR_FORMAT_NAME = "webgraph-dir"
+
+_DIR_ARRAYS = ("indptr", "indices", "site_of", "external_out")
 
 
-def load_webgraph(path: Union[str, os.PathLike]) -> WebGraph:
-    """Load a graph previously written by :func:`save_webgraph`."""
-    with np.load(path, allow_pickle=True) as data:
-        version = int(data["version"])
+def _is_dir_path(path: Union[str, os.PathLike]) -> bool:
+    """Directory layout for everything that is not a ``.npz`` file."""
+    return not str(path).endswith(".npz")
+
+
+# ----------------------------------------------------------------------
+# npz layout (format 1)
+# ----------------------------------------------------------------------
+def _save_npz(graph: WebGraph, path: Union[str, os.PathLike]) -> None:
+    path = str(path)
+    parent = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                version=np.int64(FORMAT_VERSION),
+                n_pages=np.int64(graph.n_pages),
+                indptr=np.ascontiguousarray(graph.indptr),
+                indices=np.ascontiguousarray(graph.indices),
+                site_of=np.ascontiguousarray(graph.site_of),
+                external_out=np.ascontiguousarray(graph.external_out),
+                site_names=np.array(graph.site_names, dtype=object),
+            )
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def _load_npz(path: Union[str, os.PathLike], mmap: bool) -> WebGraph:
+    if mmap:
+        raise ValueError(
+            f"{path!s}: the .npz layout is compressed and cannot be "
+            "memory-mapped; save the graph to a directory (any path "
+            "without the .npz suffix) to use mmap=True"
+        )
+    try:
+        data = np.load(path, allow_pickle=True)
+    except Exception as exc:
+        raise ValueError(f"{path!s}: not a readable webgraph archive ({exc})") from exc
+    with data:
+        try:
+            version = int(data["version"])
+        except KeyError:
+            raise ValueError(
+                f"{path!s}: missing format version (not a webgraph archive?)"
+            ) from None
         if version != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported webgraph format version {version} "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads .npz version {FORMAT_VERSION} and "
+                f"directory version {DIR_FORMAT_VERSION})"
             )
-        n_pages = int(data["n_pages"])
-        graph = WebGraph.from_csr(
-            n_pages,
-            data["indptr"],
-            data["indices"],
-            site_of=data["site_of"],
-            external_out=data["external_out"],
-            site_names=tuple(str(s) for s in data["site_names"]),
-        )
+        try:
+            graph = WebGraph.from_csr(
+                int(data["n_pages"]),
+                data["indptr"],
+                data["indices"],
+                site_of=data["site_of"],
+                external_out=data["external_out"],
+                site_names=tuple(str(s) for s in data["site_names"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"{path!s}: truncated webgraph archive ({exc})") from exc
     # Deserialized data is untrusted: verify structural invariants.
     from repro.graph.validation import check_webgraph
 
     check_webgraph(graph)
     return graph
+
+
+# ----------------------------------------------------------------------
+# npy-directory layout (format 2)
+# ----------------------------------------------------------------------
+class WebGraphDirWriter:
+    """Incremental writer for the ``.npy``-directory layout.
+
+    The out-of-core generators know every array except ``indices``
+    up front (``indptr`` follows from the per-page degree draws), so
+    the writer persists those immediately, opens ``indices.npy`` as a
+    write-through memmap, and lets the caller fill it in blocks::
+
+        writer = WebGraphDirWriter(path, indptr=indptr, site_of=...,
+                                   external_out=..., site_names=...)
+        for lo, hi, block in edge_blocks:
+            writer.indices[start:stop] = block
+        graph = writer.finalize(mmap=True)
+
+    All content lives in a hidden temporary directory next to ``path``
+    until :meth:`finalize` writes ``meta.json`` (the load-time marker)
+    and renames the directory into place — so readers never observe a
+    partially-filled graph.  :meth:`abort` (or garbage collection)
+    removes the temporary directory.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        indptr: np.ndarray,
+        site_of: np.ndarray,
+        external_out: np.ndarray,
+        site_names: Sequence[str],
+    ):
+        self.path = Path(path)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        self.n_pages = int(indptr.size - 1)
+        self.n_indices = int(indptr[-1])
+        self._tmp = Path(
+            tempfile.mkdtemp(
+                dir=self.path.parent if self.path.parent.name else ".",
+                prefix=f".{self.path.name}.tmp",
+            )
+        )
+        self._finalized = False
+        np.save(self._tmp / "indptr.npy", indptr)
+        np.save(
+            self._tmp / "site_of.npy",
+            np.ascontiguousarray(site_of, dtype=np.int64),
+        )
+        np.save(
+            self._tmp / "external_out.npy",
+            np.ascontiguousarray(external_out, dtype=np.int64),
+        )
+        with open(self._tmp / "site_names.json", "w", encoding="utf-8") as fh:
+            json.dump([str(s) for s in site_names], fh)
+        self._n_sites = len(site_names)
+        #: Write-through destination for CSR target ids; fill every
+        #: element in ``[0, n_indices)`` before :meth:`finalize`.
+        self.indices: np.ndarray = np.lib.format.open_memmap(
+            self._tmp / "indices.npy",
+            mode="w+",
+            dtype=np.int64,
+            shape=(self.n_indices,),
+        )
+
+    def finalize(self, *, mmap: bool = True, validate: Optional[bool] = None) -> WebGraph:
+        """Seal the directory and load the finished graph.
+
+        Flushes ``indices.npy``, writes ``meta.json`` *last*, renames
+        the temporary directory to the destination path (replacing an
+        existing webgraph directory there), and returns
+        ``load_webgraph(path, mmap=mmap)``.
+        """
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        self.indices.flush()
+        # Release the write mapping before renaming the directory.
+        del self.indices
+        meta = {
+            "format": _DIR_FORMAT_NAME,
+            "version": DIR_FORMAT_VERSION,
+            "n_pages": self.n_pages,
+            "n_indices": self.n_indices,
+            "n_sites": self._n_sites,
+        }
+        with open(self._tmp / "meta.json", "w", encoding="utf-8") as fh:
+            json.dump(meta, fh, indent=1)
+        if self.path.exists():
+            _check_replaceable(self.path)
+            shutil.rmtree(self.path)
+        os.replace(self._tmp, self.path)
+        self._finalized = True
+        return load_webgraph(self.path, mmap=mmap, validate=validate)
+
+    def abort(self) -> None:
+        """Discard the temporary directory (idempotent)."""
+        if not self._finalized:
+            with contextlib.suppress(AttributeError):
+                del self.indices
+            shutil.rmtree(self._tmp, ignore_errors=True)
+            self._finalized = True
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        with contextlib.suppress(Exception):
+            self.abort()
+
+
+def _check_replaceable(path: Path) -> None:
+    """Refuse to overwrite anything that is not a webgraph directory."""
+    if not path.is_dir() or not (path / "meta.json").is_file():
+        raise ValueError(
+            f"{path!s} exists and is not a webgraph directory; refusing "
+            "to replace it"
+        )
+
+
+def _save_dir(graph: WebGraph, path: Union[str, os.PathLike]) -> None:
+    writer = WebGraphDirWriter(
+        path,
+        indptr=graph.indptr,
+        site_of=graph.site_of,
+        external_out=graph.external_out,
+        site_names=graph.site_names,
+    )
+    try:
+        step = WebGraph.FINGERPRINT_CHUNK
+        for lo in range(0, graph.indices.size, step):
+            writer.indices[lo : lo + step] = graph.indices[lo : lo + step]
+        writer.finalize(mmap=False, validate=False)
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def _load_meta(path: Path) -> dict:
+    meta_path = path / "meta.json"
+    if not meta_path.is_file():
+        raise ValueError(
+            f"{path!s}: no meta.json — not a webgraph directory (or an "
+            "interrupted write that was never finalized)"
+        )
+    try:
+        with open(meta_path, encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except Exception as exc:
+        raise ValueError(f"{path!s}: unreadable meta.json ({exc})") from exc
+    if meta.get("format") != _DIR_FORMAT_NAME:
+        raise ValueError(
+            f"{path!s}: meta.json format marker is {meta.get('format')!r}, "
+            f"expected {_DIR_FORMAT_NAME!r}"
+        )
+    version = meta.get("version")
+    if version != DIR_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported webgraph directory version {version!r} "
+            f"(this build reads version {DIR_FORMAT_VERSION})"
+        )
+    return meta
+
+
+def _load_dir(path: Path, mmap: bool, validate: Optional[bool]) -> WebGraph:
+    meta = _load_meta(path)
+    arrays = {}
+    for name in _DIR_ARRAYS:
+        file = path / f"{name}.npy"
+        if not file.is_file():
+            raise ValueError(f"{path!s}: missing {name}.npy (truncated graph)")
+        try:
+            arrays[name] = np.load(file, mmap_mode="r" if mmap else None)
+        except Exception as exc:
+            raise ValueError(f"{path!s}: corrupt {name}.npy ({exc})") from exc
+    try:
+        with open(path / "site_names.json", encoding="utf-8") as fh:
+            site_names = tuple(str(s) for s in json.load(fh))
+    except Exception as exc:
+        raise ValueError(f"{path!s}: corrupt site_names.json ({exc})") from exc
+
+    n_pages = int(meta["n_pages"])
+    if arrays["indptr"].shape != (n_pages + 1,):
+        raise ValueError(
+            f"{path!s}: indptr length {arrays['indptr'].shape} disagrees "
+            f"with meta n_pages {n_pages}"
+        )
+    if arrays["indices"].shape != (int(meta["n_indices"]),):
+        raise ValueError(
+            f"{path!s}: indices length {arrays['indices'].shape[0]} "
+            f"disagrees with meta n_indices {meta['n_indices']}"
+        )
+    if validate is None:
+        # A full validation pass scans every array, which defeats a
+        # lazy mmap load; memory-mapped graphs skip it unless asked.
+        validate = not mmap
+    graph = WebGraph.from_csr(
+        n_pages,
+        arrays["indptr"],
+        arrays["indices"],
+        site_of=arrays["site_of"],
+        external_out=arrays["external_out"],
+        site_names=site_names,
+        copy=not mmap,
+        validate=False,
+    )
+    if validate:
+        from repro.graph.validation import check_webgraph
+
+        check_webgraph(graph)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def save_webgraph(graph: WebGraph, path: Union[str, os.PathLike]) -> None:
+    """Serialize ``graph`` to ``path``.
+
+    A ``.npz`` suffix selects the single-file archive (format 1); any
+    other path becomes an ``.npy`` directory (format 2, memory-
+    mappable).  Both writes are atomic: a temporary file/directory is
+    renamed into place only once complete.
+    """
+    if _is_dir_path(path):
+        _save_dir(graph, path)
+    else:
+        _save_npz(graph, path)
+
+
+def load_webgraph(
+    path: Union[str, os.PathLike],
+    *,
+    mmap: bool = False,
+    validate: Optional[bool] = None,
+) -> WebGraph:
+    """Load a graph previously written by :func:`save_webgraph`.
+
+    Parameters
+    ----------
+    mmap:
+        With the directory layout, return a graph whose ``indptr`` /
+        ``indices`` / ``site_of`` / ``external_out`` are *read-only
+        memory-mapped views* of the on-disk arrays — loading is O(1)
+        in graph size and the OS pages data in on demand.  The views
+        stay valid for the life of the returned graph; the files must
+        not be modified or removed while it is in use.  Requesting
+        ``mmap=True`` for a ``.npz`` file raises (the archive is
+        compressed).
+    validate:
+        Force (True) or skip (False) the full structural scan of the
+        loaded arrays.  Default: scan in-memory loads (deserialized
+        data is untrusted), skip it for mmap loads so they stay lazy —
+        pass ``validate=True`` to pay one sequential read for the full
+        bounds check.
+    """
+    if _is_dir_path(path):
+        return _load_dir(Path(path), mmap, validate)
+    return _load_npz(path, mmap)
+
+
+def backing_memmap(arr: Optional[np.ndarray]) -> Optional[np.memmap]:
+    """Return the :class:`numpy.memmap` backing ``arr``, if any.
+
+    ``WebGraph.from_csr`` re-wraps adopted arrays as plain ``ndarray``
+    views, so ``isinstance(graph.indices, np.memmap)`` is False even
+    for an mmap-loaded graph; walk the ``base`` chain instead.
+    """
+    seen = 0
+    while arr is not None and seen < 16:
+        if isinstance(arr, np.memmap):
+            return arr
+        arr = getattr(arr, "base", None)
+        seen += 1
+    return None
+
+
+def madvise_dontneed(arr: np.ndarray, lo: int = 0, hi: Optional[int] = None) -> None:
+    """Drop resident pages of a memory-mapped array slice (best effort).
+
+    After a streaming pass over element range ``[lo, hi)`` of a
+    read-only memory-mapped array, the touched file pages stay
+    resident and count toward the process's peak RSS even though they
+    will never be read again.  This hints the kernel to reclaim them.
+    No-op for regular arrays and on platforms without ``madvise``.
+    """
+    import mmap as _mmap
+
+    mm = backing_memmap(arr)
+    base = getattr(mm, "_mmap", None)
+    if mm is None or base is None or not hasattr(base, "madvise"):
+        return
+    itemsize = arr.itemsize
+    # ``from_csr`` views share their base memmap's start, so element
+    # offsets translate directly; ``mm.offset`` is the data start
+    # within the underlying map (header bytes for ``.npy`` files).
+    offset = int(getattr(mm, "offset", 0))
+    hi = arr.size if hi is None else min(hi, arr.size)
+    if hi <= lo:
+        return
+    page = _mmap.PAGESIZE
+    start = offset + lo * itemsize
+    stop = offset + hi * itemsize
+    start_aligned = (start // page) * page
+    with contextlib.suppress(Exception):
+        base.madvise(_mmap.MADV_DONTNEED, start_aligned, stop - start_aligned)

@@ -96,6 +96,11 @@ class CutStatistics:
         Largest number of distinct destination groups any single group
         sends to (the per-node destination count under direct
         transmission).
+    n_split_sites:
+        Sites whose pages span more than one group — 0 for every
+        site-granular strategy (site/rendezvous/ldg); nonzero values
+        quantify how far a partition strays from the paper's locality
+        assumption (see :func:`partition_contiguous`).
     group_sizes:
         Pages per group.
     """
@@ -104,6 +109,7 @@ class CutStatistics:
     cut_fraction: float
     n_group_pairs: int
     max_group_out_fan: int
+    n_split_sites: int
     group_sizes: np.ndarray = field(repr=False)
 
     def as_dict(self) -> Dict[str, float]:
@@ -113,6 +119,7 @@ class CutStatistics:
             "cut_fraction": self.cut_fraction,
             "n_group_pairs": float(self.n_group_pairs),
             "max_group_out_fan": float(self.max_group_out_fan),
+            "n_split_sites": float(self.n_split_sites),
             "imbalance": float(
                 self.group_sizes.max() / max(self.group_sizes.mean(), 1e-12)
             )
@@ -121,33 +128,59 @@ class CutStatistics:
         }
 
 
-def partition_cut_statistics(graph: WebGraph, partition: Partition) -> CutStatistics:
-    """Compute :class:`CutStatistics` for a partition of ``graph``."""
+def partition_cut_statistics(
+    graph: WebGraph, partition: Partition, *, chunk_edges: int = 1 << 21
+) -> CutStatistics:
+    """Compute :class:`CutStatistics` for a partition of ``graph``.
+
+    Streams the CSR structure ``chunk_edges`` links at a time (pure
+    integer counting, so chunking cannot change any result), which
+    keeps the pass memory-bounded on memory-mapped graphs.
+    """
     if partition.n_pages != graph.n_pages:
         raise ValueError("partition and graph disagree on n_pages")
-    src, dst = graph.edges()
-    gs = partition.group_of[src]
-    gd = partition.group_of[dst]
-    cut = gs != gd
-    n_cut = int(cut.sum())
-    frac = n_cut / src.size if src.size else 0.0
+    from repro.graph.io import madvise_dontneed
+    from repro.graph.partition import count_split_sites
+
+    group_of = partition.group_of
+    k = partition.n_groups
+    indptr = graph.indptr
+    indices = graph.indices
+    n = graph.n_pages
+    n_cut = 0
+    n_edges = 0
+    pair_seen = np.zeros(k * k, dtype=bool)
+    p0 = 0
+    while p0 < n:
+        p1 = int(np.searchsorted(indptr, int(indptr[p0]) + chunk_edges, side="left"))
+        p1 = min(max(p1, p0 + 1), n)
+        lo, hi = int(indptr[p0]), int(indptr[p1])
+        if hi > lo:
+            dst = np.asarray(indices[lo:hi], dtype=np.int64)
+            deg = np.asarray(indptr[p0 : p1 + 1], dtype=np.int64)
+            src = np.repeat(np.arange(p0, p1, dtype=np.int64), np.diff(deg))
+            gs = group_of[src]
+            gd = group_of[dst]
+            cut = gs != gd
+            n_cut += int(np.count_nonzero(cut))
+            n_edges += int(cut.size)
+            if cut.any():
+                pair_seen[np.unique(gs[cut] * np.int64(k) + gd[cut])] = True
+            madvise_dontneed(indices, lo, hi)
+        p0 = p1
     if n_cut:
-        pair_keys = gs[cut] * np.int64(partition.n_groups) + gd[cut]
-        unique_pairs = np.unique(pair_keys)
-        n_pairs = int(unique_pairs.size)
-        out_fan = np.bincount(
-            (unique_pairs // partition.n_groups).astype(np.int64),
-            minlength=partition.n_groups,
-        )
-        max_fan = int(out_fan.max())
+        pairs = np.flatnonzero(pair_seen)
+        n_pairs = int(pairs.size)
+        max_fan = int(np.bincount(pairs // k, minlength=k).max())
     else:
         n_pairs = 0
         max_fan = 0
     return CutStatistics(
         n_cut_links=n_cut,
-        cut_fraction=frac,
+        cut_fraction=n_cut / n_edges if n_edges else 0.0,
         n_group_pairs=n_pairs,
         max_group_out_fan=max_fan,
+        n_split_sites=count_split_sites(graph.site_of, group_of),
         group_sizes=partition.group_sizes(),
     )
 

@@ -228,6 +228,12 @@ class WebGraph:
     # ------------------------------------------------------------------
     # Content identity
     # ------------------------------------------------------------------
+    #: Elements hashed per :meth:`fingerprint` chunk.  Bounds the
+    #: transient buffer at 8 MB regardless of graph size, which keeps
+    #: fingerprinting memmap-friendly: a memory-mapped CSR array is
+    #: paged through, never materialized as one contiguous byte string.
+    FINGERPRINT_CHUNK = 1 << 20
+
     def fingerprint(self) -> str:
         """Stable hex digest of the graph's full content.
 
@@ -235,15 +241,26 @@ class WebGraph:
         and site names, so two graphs share a fingerprint iff they are
         value-equal.  Used as the graph component of content-addressed
         cache keys; cached after first call (the arrays are immutable
-        by convention).
+        by convention).  Arrays are streamed in fixed-size chunks, so
+        the digest of a memory-mapped graph costs O(chunk) resident
+        memory; the digest value is byte-for-byte the one the original
+        whole-buffer implementation produced.
         """
         if self._fingerprint is None:
             import hashlib
 
+            from repro.graph.io import madvise_dontneed
+
             h = hashlib.sha1()
             h.update(str(self.n_pages).encode())
+            step = self.FINGERPRINT_CHUNK
             for arr in (self.indptr, self.indices, self.site_of, self.external_out):
-                h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+                for lo in range(0, arr.size, step):
+                    chunk = np.ascontiguousarray(arr[lo : lo + step], dtype=np.int64)
+                    h.update(chunk.tobytes())
+                    # Memory-mapped graphs: hand the hashed pages back
+                    # as the stream advances (no-op for plain arrays).
+                    madvise_dontneed(arr, lo, min(lo + step, arr.size))
             h.update("\x00".join(self.site_names).encode("utf-8"))
             self._fingerprint = h.hexdigest()
         return self._fingerprint

@@ -101,6 +101,26 @@ class JacobiWorkspace:
         if n != self.n:
             raise ValueError(f"workspace sized for n={self.n}, problem has n={n}")
 
+    def sliced(self, n: int) -> "JacobiWorkspace":
+        """A view-workspace for a smaller problem sharing these buffers.
+
+        Every workspace-backed solve fully (re)initializes its buffers
+        from the solve's own inputs, so *sequential* solves of
+        different sizes can share one max-size allocation instead of
+        each holding its own — K per-group workspaces collapse to one.
+        Views alias the parent's memory: never use a view concurrently
+        with the parent or a sibling, and copy results out before the
+        next solve (callers must already do both).
+        """
+        if not 0 <= n <= self.n:
+            raise ValueError(f"cannot slice a size-{self.n} workspace to n={n}")
+        ws = object.__new__(JacobiWorkspace)
+        ws.n = n
+        ws._ping = self._ping[:n]
+        ws._pong = self._pong[:n]
+        ws._scratch = self._scratch[:n]
+        return ws
+
     def sweep_delta(
         self, p: sp.spmatrix, x: np.ndarray, f: np.ndarray, out: np.ndarray
     ) -> float:

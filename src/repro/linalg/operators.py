@@ -100,8 +100,13 @@ class GroupBlocks:
     #: Built once from ``cross`` in ``__post_init__`` (see module docs).
     _dests: List[List[int]] = field(init=False, repr=False)
     _srcs: List[List[int]] = field(init=False, repr=False)
-    _efferent_op: List[sp.csr_matrix] = field(init=False, repr=False)
-    _efferent_offsets: List[np.ndarray] = field(init=False, repr=False)
+    #: Stacked efferent operators, built on first use: they duplicate
+    #: every cross block's storage, and the flat engine — which
+    #: assembles its own compressed cut matrix straight from ``cross``
+    #: — never needs them.  Only the event engine's per-node
+    #: ``efferent_into`` calls pay the copy.
+    _efferent_op: Optional[List[sp.csr_matrix]] = field(init=False, repr=False)
+    _efferent_offsets: Optional[List[np.ndarray]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         k = self.n_groups
@@ -110,9 +115,15 @@ class GroupBlocks:
         for g, h in sorted(self.cross):
             self._dests[g].append(h)
             self._srcs[h].append(g)
+        self._efferent_op = None
+        self._efferent_offsets = None
+
+    def _ensure_efferent(self) -> None:
+        if self._efferent_op is not None:
+            return
         self._efferent_op = []
         self._efferent_offsets = []
-        for g in range(k):
+        for g in range(self.n_groups):
             dests = self._dests[g]
             if dests:
                 stack = [self.cross[(g, h)] for h in dests]
@@ -153,8 +164,12 @@ class GroupBlocks:
         return self.diag[g] @ r
 
     def efferent_rows(self, g: int) -> int:
-        """Total output length of group ``g``'s stacked efferent operator."""
-        return int(self._efferent_op[g].shape[0])
+        """Total output length of group ``g``'s stacked efferent operator.
+
+        Computed from the cross block shapes — does not force the
+        stacked operators to be built.
+        """
+        return int(sum(self.cross[(g, h)].shape[0] for h in self._dests[g]))
 
     def efferent_buffer(self, g: int) -> np.ndarray:
         """Allocate an output buffer suitable for :meth:`efferent_into`."""
@@ -165,9 +180,9 @@ class GroupBlocks:
 
         The vertical stack of ``cross[(g, h)]`` for ``h`` in
         :meth:`destinations_of` order; row slices are the rows of the
-        original blocks.  The flat execution engine block-diagonalizes
-        these into one whole-system cut matrix.
+        original blocks.  Built lazily on first access.
         """
+        self._ensure_efferent()
         return self._efferent_op[g]
 
     def efferent(self, g: int, r: np.ndarray) -> Dict[int, np.ndarray]:
@@ -183,6 +198,7 @@ class GroupBlocks:
         fresh output array (safe to hand to in-flight messages — the
         array is not reused by later calls).
         """
+        self._ensure_efferent()
         y = self._efferent_op[g] @ np.asarray(r, dtype=np.float64)
         return self._slice_efferent(g, y)
 
@@ -198,10 +214,12 @@ class GroupBlocks:
             raise ValueError(
                 f"out has shape {out.shape}, want ({self.efferent_rows(g)},)"
             )
+        self._ensure_efferent()
         csr_matvec_into(self._efferent_op[g], r, out)
         return self._slice_efferent(g, out)
 
     def _slice_efferent(self, g: int, y: np.ndarray) -> Dict[int, np.ndarray]:
+        self._ensure_efferent()
         offsets = self._efferent_offsets[g]
         return {
             h: y[offsets[i] : offsets[i + 1]]
@@ -225,21 +243,67 @@ class GroupBlocks:
         """Total stored entries across all cross blocks (≈ cut links)."""
         return sum(int(b.nnz) for b in self.cross.values())
 
+    def release_cross(self) -> None:
+        """Drop the cross-block matrices to reclaim their memory.
+
+        The flat engine copies every cross entry into its global cut
+        matrix at construction, after which the per-pair matrices are
+        dead weight — at K groups their row pointers alone hold K·n
+        entries, the dominant term of the builder's footprint on large
+        graphs.  After release only the diagonal operators, page maps,
+        and topology queries (:meth:`destinations_of` /
+        :meth:`sources_of`) remain usable; efferent products and
+        :meth:`total_cut_entries` must not be called.
+        """
+        self.cross.clear()
+        self._efferent_op = None
+        self._efferent_offsets = None
+
 
 def group_blocks(
     graph: WebGraph,
     partition: Partition,
     alpha: float = 0.85,
+    *,
+    mode: str = "auto",
+    chunk_edges: int = 1 << 18,
 ) -> GroupBlocks:
     """Split the propagation operator along a partition.
 
-    Builds all diagonal and cross blocks in one vectorized pass over
-    the edge list (no per-edge Python loop): edges are bucketed by
-    ordered group pair, then each bucket becomes one CSR block.
+    Two equivalent builders:
+
+    * ``"eager"`` — one vectorized pass over the full edge list:
+      materialize ``(src, dst)``, argsort by ordered group pair, and
+      convert each bucket to a CSR block.  Fastest for in-memory
+      graphs, but the intermediates are several multiples of the edge
+      list.
+    * ``"streamed"`` — two bounded passes over CSR page ranges
+      (``chunk_edges`` links at a time): pass 1 counts each block's
+      per-row entries, pass 2 scatters values into the preallocated
+      block arrays through per-row cursors.  Peak transient memory is
+      one chunk plus the finished blocks, which is what lets a
+      memory-mapped 1e7-page graph rank within the out-of-core
+      budget; touched mmap pages are released with ``madvise`` as the
+      stream advances.
+
+    ``"auto"`` picks ``"streamed"`` exactly when the graph's CSR
+    arrays are memory-mapped (see :func:`repro.graph.io.load_webgraph`),
+    so the whole engine stack switches builders by loading the graph
+    with ``mmap=True`` — no call-site changes.  Both builders produce
+    bit-identical blocks (same values, same canonical CSR layout;
+    asserted in ``tests/test_outofcore.py``).
     """
     check_fraction(alpha, "alpha")
     if partition.n_pages != graph.n_pages:
         raise ValueError("partition and graph disagree on n_pages")
+    if mode == "auto":
+        from repro.graph.io import backing_memmap
+
+        mode = "streamed" if backing_memmap(graph.indices) is not None else "eager"
+    if mode == "streamed":
+        return _group_blocks_streamed(graph, partition, alpha, chunk_edges)
+    if mode != "eager":
+        raise ValueError(f"unknown group_blocks mode {mode!r}")
 
     src, dst = graph.edges()
     d = graph.out_degrees().astype(np.float64)
@@ -276,6 +340,184 @@ def group_blocks(
         block = sp.csr_matrix(
             (dat[s:e], (ld[s:e], ls[s:e])), shape=(sizes[h], sizes[g])
         )
+        if g == h:
+            diag[g] = block
+        else:
+            cross[(g, h)] = block
+    for g in range(k):
+        if diag[g] is None:
+            diag[g] = sp.csr_matrix((sizes[g], sizes[g]))
+    return GroupBlocks(alpha=alpha, pages=pages, diag=diag, cross=cross)  # type: ignore[arg-type]
+
+
+def _edge_chunks(indptr: np.ndarray, n_pages: int, chunk_edges: int):
+    """Yield page ranges ``(p0, p1)`` covering ~``chunk_edges`` links each."""
+    p0 = 0
+    while p0 < n_pages:
+        p1 = int(np.searchsorted(indptr, int(indptr[p0]) + chunk_edges, side="left"))
+        p1 = min(max(p1, p0 + 1), n_pages)
+        yield p0, p1
+        p0 = p1
+
+
+def _group_blocks_streamed(
+    graph: WebGraph, partition: Partition, alpha: float, chunk_edges: int
+) -> GroupBlocks:
+    """Two-pass bounded-memory builder (see :func:`group_blocks`).
+
+    Correctness relies on CSR order: streaming pages ascending means
+    each block row receives its entries in ascending local-column
+    order (local indices are monotone in page id within a group), with
+    duplicate links adjacent.  ``sum_duplicates`` then canonicalizes
+    each block exactly like the eager path's COO→CSR conversion —
+    summed duplicates are sums of *equal* values (``α/d(u)`` depends
+    only on the source page), so the summation order cannot change
+    the result bits.
+    """
+    from repro.graph.io import madvise_dontneed
+
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    group_of = partition.group_of
+    local = partition.local_index()
+    k = partition.n_groups
+    pages = [partition.pages_of_group(g) for g in range(k)]
+    sizes = [p.size for p in pages]
+    n = graph.n_pages
+    indptr = graph.indptr
+    indices = graph.indices
+    # Row counts, row pointers, and cursors total O(K·n) entries; at
+    # 1e7 pages that term dominates the builder's footprint, so use
+    # int32 whenever every count/pointer/local-column value fits
+    # (values are bounded by the internal link count / page count).
+    i32max = np.iinfo(np.int32).max
+    cnt_dtype = np.int32 if graph.n_internal_links < i32max else np.int64
+    idx_dtype = (
+        np.int32 if graph.n_internal_links < i32max and n < i32max else np.int64
+    )
+    if local.dtype != idx_dtype and n < i32max:
+        local = local.astype(np.int32)
+    # 1/d(u) with dangling pages zeroed, computed in place: same
+    # divisions, same bits as the expression form, but only one
+    # n-sized float temporary is ever live.
+    counts64 = graph.out_degrees()
+    dangling = counts64 == 0
+    inv_d = counts64.astype(np.float64)
+    del counts64
+    np.maximum(inv_d, 1e-300, out=inv_d)
+    np.divide(1.0, inv_d, out=inv_d)
+    inv_d[dangling] = 0.0
+    del dangling
+
+    def sorted_chunk(p0: int, p1: int):
+        """Chunk edges sorted by (block, row); run = one (block, row).
+
+        Per-source quantities come from page-level slices expanded by
+        ``np.repeat`` — the CSR layout guarantees the expansion equals
+        indexing by an explicit per-edge source array, without ever
+        materializing one.
+        """
+        lo, hi = int(indptr[p0]), int(indptr[p1])
+        dst = np.asarray(indices[lo:hi], dtype=np.int64)
+        deg = np.diff(np.asarray(indptr[p0 : p1 + 1], dtype=np.int64))
+        key = np.repeat(group_of[p0:p1] * np.int64(k), deg) + group_of[dst]
+        ld = local[dst]
+        order = np.lexsort((ld, key))
+        ks, lds = key[order], ld[order]
+        if ks.size:
+            run_first = np.flatnonzero(
+                np.r_[True, (np.diff(ks) != 0) | (np.diff(lds) != 0)]
+            )
+            pair_first = np.flatnonzero(np.r_[True, np.diff(ks) != 0])
+        else:
+            run_first = pair_first = np.zeros(0, dtype=np.int64)
+        return lo, hi, deg, order, ks, lds, run_first, pair_first
+
+    # --- pass 1: per-(block, row) entry counts -------------------------
+    counts: Dict[int, np.ndarray] = {}
+    for p0, p1 in _edge_chunks(indptr, n, chunk_edges):
+        lo, hi, _, _, ks, lds, run_first, pair_first = sorted_chunk(p0, p1)
+        run_len = np.diff(np.r_[run_first, ks.size])
+        pair_end = np.r_[pair_first[1:], ks.size]
+        for s, e in zip(pair_first, pair_end):
+            pk = int(ks[s])
+            cnt = counts.get(pk)
+            if cnt is None:
+                cnt = counts[pk] = np.zeros(sizes[pk % k], dtype=cnt_dtype)
+            # Runs are unique rows within the chunk, so a plain fancy
+            # add is collision-free.
+            r0 = np.searchsorted(run_first, s, side="left")
+            r1 = np.searchsorted(run_first, e, side="left")
+            cnt[lds[run_first[r0:r1]]] += run_len[r0:r1]
+        madvise_dontneed(indices, lo, hi)
+
+    # --- allocate final blocks, turn counts into write cursors --------
+    blk_indptr: Dict[int, np.ndarray] = {}
+    blk_indices: Dict[int, np.ndarray] = {}
+    cursor: Dict[int, np.ndarray] = {}
+    for pk in sorted(counts):
+        cnt = counts.pop(pk)
+        nnz = int(cnt.sum())
+        # Row-start trick: bip[1:] starts as each row's write cursor
+        # (the exclusive prefix sum) and is advanced in place by pass
+        # 2, after which it holds exactly the final inclusive row
+        # pointer — the cursors never need their own O(rows) copy.
+        bip = np.zeros(cnt.size + 1, dtype=cnt_dtype)
+        if cnt.size > 1:
+            np.cumsum(cnt[:-1], out=bip[2:])
+        blk_indptr[pk] = bip
+        blk_indices[pk] = np.empty(nnz, dtype=idx_dtype)
+        cursor[pk] = bip[1:]
+
+    # --- pass 2: scatter column indices through the cursors ------------
+    # Only indices are scattered; values are recovered at assembly from
+    # the column index (every entry of block (g, h) column ``c`` is
+    # exactly ``α/d(pages[g][c])``), which keeps a float64 copy of the
+    # whole edge list out of the builder's peak.
+    for p0, p1 in _edge_chunks(indptr, n, chunk_edges):
+        lo, hi, deg, order, ks, lds, run_first, pair_first = sorted_chunk(p0, p1)
+        lss = np.repeat(local[p0:p1], deg)[order]
+        run_id = np.zeros(ks.size, dtype=np.int64)
+        run_id[run_first[1:]] = 1
+        np.cumsum(run_id, out=run_id)
+        ramp = np.arange(ks.size, dtype=np.int64) - run_first[run_id]
+        run_len = np.diff(np.r_[run_first, ks.size])
+        pair_end = np.r_[pair_first[1:], ks.size]
+        for s, e in zip(pair_first, pair_end):
+            pk = int(ks[s])
+            cur = cursor[pk]
+            pos = cur[lds[s:e]] + ramp[s:e]
+            blk_indices[pk][pos] = lss[s:e]
+            r0 = np.searchsorted(run_first, s, side="left")
+            r1 = np.searchsorted(run_first, e, side="left")
+            cur[lds[run_first[r0:r1]]] += run_len[r0:r1]
+        madvise_dontneed(indices, lo, hi)
+    del cursor, local
+
+    # --- assemble ------------------------------------------------------
+    # α/d(u) per page, computed once; gathering it through a block's
+    # column indices reproduces the per-edge products bit for bit
+    # (same two operands per entry, in whatever order).
+    np.multiply(inv_d, alpha, out=inv_d)
+    diag: List[Optional[sp.csr_matrix]] = [None] * k
+    cross: Dict[Tuple[int, int], sp.csr_matrix] = {}
+    w_g = -1
+    w: Optional[np.ndarray] = None
+    for pk in sorted(blk_indptr):
+        g, h = divmod(pk, k)
+        bip = blk_indptr.pop(pk)
+        bidx = blk_indices.pop(pk)
+        if bip.dtype != np.int32 and int(bip[-1]) < i32max and sizes[g] < i32max:
+            # Match scipy's own index-dtype choice (and halve the
+            # blocks' index memory) wherever int32 suffices.
+            bip = bip.astype(np.int32)
+            bidx = bidx.astype(np.int32)
+        if w_g != g:
+            w_g, w = g, inv_d[pages[g]]
+        block = sp.csr_matrix(
+            (w[bidx], bidx, bip), shape=(sizes[h], sizes[g])
+        )
+        block.sum_duplicates()
         if g == h:
             diag[g] = block
         else:

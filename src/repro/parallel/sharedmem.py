@@ -13,6 +13,13 @@ mounted noexec/absent, or ``REPRO_PARALLEL_SHM=0``) the spec simply
 carries the pickled objects; with the default ``fork`` start method
 that fallback is still cheap because the pages are inherited
 copy-on-write.
+
+Memory-mapped graphs (``load_webgraph(path, mmap=True)``) short-cut
+the copy entirely: arrays already backed by an ``.npy`` file ship as
+``(filename, dtype, shape, offset)`` and every worker re-opens the
+same file read-only — the out-of-core path never duplicates the CSR
+arrays into ``/dev/shm`` at all, and the page cache is shared across
+the pool by the OS.
 """
 
 from __future__ import annotations
@@ -70,6 +77,24 @@ class SharedWorkload:
 
     # ------------------------------------------------------------------
     def _put_array(self, arr: np.ndarray) -> Dict[str, object]:
+        from repro.graph.io import backing_memmap
+
+        mm = backing_memmap(arr)
+        if (
+            mm is not None
+            and isinstance(getattr(mm, "filename", None), (str, os.PathLike))
+            and arr.size == mm.size
+            and arr.dtype == mm.dtype
+        ):
+            # Already file-backed: ship the path, not the bytes.  The
+            # whole-array check keeps the entry a faithful alias (the
+            # from_csr views we see in practice cover the full memmap).
+            return {
+                "mmap_path": str(mm.filename),
+                "dtype": str(arr.dtype),
+                "shape": tuple(arr.shape),
+                "offset": int(mm.offset),
+            }
         from multiprocessing import shared_memory
 
         arr = np.ascontiguousarray(arr)
@@ -122,6 +147,17 @@ class SharedWorkload:
 def _attach_array(
     entry: Dict[str, object], keepalive: list, unregister: bool
 ) -> np.ndarray:
+    if "mmap_path" in entry:
+        # File-backed array: re-open the same ``.npy`` data read-only.
+        arr = np.memmap(
+            entry["mmap_path"],
+            dtype=np.dtype(entry["dtype"]),
+            mode="r",
+            offset=int(entry["offset"]),
+            shape=tuple(entry["shape"]),
+        )
+        keepalive.append(arr)
+        return arr
     from multiprocessing import shared_memory
 
     seg = shared_memory.SharedMemory(name=entry["name"], create=False)

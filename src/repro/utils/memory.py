@@ -1,0 +1,56 @@
+"""Heap hygiene for allocation-heavy build phases.
+
+Building a grouped operator churns through chunk-sized temporaries and
+then frees them, but glibc's allocator keeps the freed pages in its
+arena: process RSS — and therefore ``ru_maxrss``, which the
+out-of-core benchmarks gate on — stays at the build's high-water mark
+even though the live set is far smaller.  Worse, numpy's later large
+allocations are often served by fresh ``mmap`` regions rather than
+the retained arena space, so the freed pages are pure dead weight.
+
+:func:`trim_heap` hands the freed pages back to the OS (glibc's
+``malloc_trim`` walks every arena's free chunks and ``MADV_DONTNEED``s
+whole pages since glibc 2.27).  Calling it once after a build phase
+means the *subsequent* steady-state growth starts from the true live
+set, keeping the process's high-water mark at the build peak instead
+of build-peak-plus-steady-state.  It is a pure allocator operation:
+no Python object, array value, or bit of arithmetic is affected.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+__all__ = ["trim_heap"]
+
+_TRIM = None
+
+
+def _load_trim():
+    global _TRIM
+    if _TRIM is None:
+        try:
+            libc = ctypes.CDLL("libc.so.6", use_errno=True)
+            trim = libc.malloc_trim
+            trim.argtypes = [ctypes.c_size_t]
+            trim.restype = ctypes.c_int
+            _TRIM = trim
+        except (OSError, AttributeError):  # pragma: no cover - non-glibc
+            _TRIM = False
+    return _TRIM
+
+
+def trim_heap() -> bool:
+    """Release freed malloc arena pages back to the OS.
+
+    Returns ``True`` if memory was actually released, ``False`` when
+    nothing was releasable or the platform has no ``malloc_trim``
+    (musl, macOS, Windows) — callers never need to check.
+    """
+    trim = _load_trim()
+    if not trim:
+        return False
+    try:
+        return bool(trim(0))
+    except Exception:  # pragma: no cover - defensive
+        return False

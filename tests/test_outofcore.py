@@ -1,0 +1,305 @@
+"""Out-of-core pipeline tests: streaming build, mmap storage, identity.
+
+The contract under test is *bit-identity*: chunked generation, the
+``.npy`` directory format, memory-mapped loads, and the streamed
+operator assembly must all be invisible — every path produces exactly
+the bytes the eager in-memory path produces, so experiment results
+can never depend on how the graph happened to reach memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    WebGraphDirWriter,
+    backing_memmap,
+    erdos_renyi_web,
+    google_contest_like,
+    load_webgraph,
+    make_partition,
+    save_webgraph,
+)
+from repro.graph.io import DIR_FORMAT_VERSION
+
+
+class TestStreamedGeneration:
+    @pytest.mark.parametrize("n_pages,n_sites", [(5000, 40), (333, 333), (100, 1)])
+    def test_contest_chunked_matches_eager(self, n_pages, n_sites):
+        eager = google_contest_like(n_pages, n_sites, seed=7)
+        chunked = google_contest_like(n_pages, n_sites, seed=7, chunk_pages=257)
+        assert chunked.fingerprint() == eager.fingerprint()
+        assert chunked.site_names == eager.site_names
+
+    def test_contest_to_dir_matches_eager(self, tmp_path):
+        eager = google_contest_like(4000, 60, seed=11)
+        streamed = google_contest_like(
+            4000, 60, seed=11, out=tmp_path / "wg", chunk_pages=501
+        )
+        assert streamed.fingerprint() == eager.fingerprint()
+        # The returned graph is served straight off the written files.
+        assert backing_memmap(streamed.indices) is not None
+
+    def test_erdos_chunked_matches_eager(self, tmp_path):
+        eager = erdos_renyi_web(3000, 5, n_sites=30, seed=3)
+        chunked = erdos_renyi_web(3000, 5, n_sites=30, seed=3, chunk_pages=119)
+        on_disk = erdos_renyi_web(
+            3000, 5, n_sites=30, seed=3, out=tmp_path / "wg", chunk_pages=119
+        )
+        assert chunked.fingerprint() == eager.fingerprint()
+        assert on_disk.fingerprint() == eager.fingerprint()
+
+    def test_chunk_size_is_invisible(self):
+        prints = {
+            google_contest_like(2500, 50, seed=5, chunk_pages=c).fingerprint()
+            for c in (64, 1000, 10**6)
+        }
+        assert len(prints) == 1
+
+
+class TestDirFormat:
+    def test_dir_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        for mmap in (False, True):
+            loaded = load_webgraph(path, mmap=mmap)
+            assert loaded == tiny_graph
+            assert loaded.site_names == tiny_graph.site_names
+
+    def test_mmap_load_is_file_backed(self, tmp_path):
+        g = google_contest_like(2000, 25, seed=4)
+        path = tmp_path / "wg"
+        save_webgraph(g, path)
+        mapped = load_webgraph(path, mmap=True)
+        assert backing_memmap(mapped.indices) is not None
+        assert backing_memmap(mapped.indptr) is not None
+        assert mapped.fingerprint() == g.fingerprint()
+
+    def test_mmap_arrays_are_readonly(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        mapped = load_webgraph(path, mmap=True)
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped.indices[0] = 99
+
+    def test_dir_version_check(self, tmp_path, tiny_graph):
+        import json
+
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        meta = json.loads((path / "meta.json").read_text())
+        meta["version"] = DIR_FORMAT_VERSION + 40
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            load_webgraph(path)
+
+    def test_corrupt_array_rejected(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        (path / "indices.npy").write_bytes(b"not an npy file")
+        with pytest.raises(ValueError):
+            load_webgraph(path)
+
+    def test_missing_array_rejected(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        (path / "indptr.npy").unlink()
+        with pytest.raises(ValueError):
+            load_webgraph(path)
+
+    def test_corrupt_values_rejected_by_validation(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        indices = np.load(path / "indices.npy")
+        indices[0] = tiny_graph.n_pages + 7  # out-of-range target
+        np.save(path / "indices.npy", indices)
+        with pytest.raises(Exception):
+            load_webgraph(path, validate=True)
+
+    def test_interrupted_write_leaves_no_target(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        writer = WebGraphDirWriter(
+            path,
+            indptr=tiny_graph.indptr,
+            site_of=tiny_graph.site_of,
+            external_out=tiny_graph.external_out,
+            site_names=tiny_graph.site_names,
+        )
+        writer.abort()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_existing_dir(self, tmp_path, tiny_graph):
+        path = tmp_path / "wg"
+        save_webgraph(tiny_graph, path)
+        other = google_contest_like(300, 10, seed=9)
+        save_webgraph(other, path)
+        assert load_webgraph(path).fingerprint() == other.fingerprint()
+
+
+class TestNpzHardening:
+    def test_npz_write_is_atomic_on_failure(self, tmp_path, tiny_graph, monkeypatch):
+        path = tmp_path / "g.npz"
+        save_webgraph(tiny_graph, path)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(RuntimeError):
+            save_webgraph(tiny_graph, path)
+        # The failed write never touched the existing file.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["g.npz"]
+
+    def test_truncated_npz_rejected(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.npz"
+        save_webgraph(tiny_graph, path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises((ValueError, OSError)):
+            load_webgraph(path)
+
+    def test_missing_field_rejected(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.npz"
+        save_webgraph(tiny_graph, path)
+        with np.load(path, allow_pickle=True) as data:
+            fields = dict(data)
+        del fields["indices"]
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ValueError, match="indices"):
+            load_webgraph(path)
+
+
+class TestStreamedOperators:
+    @pytest.mark.parametrize("strategy", ["site", "url", "random", "ldg"])
+    def test_group_blocks_streamed_matches_eager(self, strategy, contest_small):
+        from repro.linalg.operators import group_blocks
+
+        part = make_partition(contest_small, 6, strategy, seed=1)
+        eager = group_blocks(contest_small, part, mode="eager")
+        streamed = group_blocks(
+            contest_small, part, mode="streamed", chunk_edges=777
+        )
+        for a, b in zip(eager.diag, streamed.diag):
+            assert a.indptr.tobytes() == b.indptr.tobytes()
+            assert a.indices.tobytes() == b.indices.tobytes()
+            assert a.data.tobytes() == b.data.tobytes()
+        assert set(eager.cross) == set(streamed.cross)
+        for key, a in eager.cross.items():
+            b = streamed.cross[key]
+            assert a.indptr.tobytes() == b.indptr.tobytes()
+            assert a.indices.tobytes() == b.indices.tobytes()
+            assert a.data.tobytes() == b.data.tobytes()
+
+    def test_auto_mode_streams_only_for_mmap(self, tmp_path, contest_small):
+        from repro.linalg import operators
+
+        calls = []
+        original = operators._group_blocks_streamed
+
+        def spy(*args, **kwargs):
+            calls.append(True)
+            return original(*args, **kwargs)
+
+        operators._group_blocks_streamed = spy
+        try:
+            part = make_partition(contest_small, 4, "site")
+            operators.group_blocks(contest_small, part)
+            assert calls == []
+            path = tmp_path / "wg"
+            save_webgraph(contest_small, path)
+            mapped = load_webgraph(path, mmap=True)
+            operators.group_blocks(mapped, make_partition(mapped, 4, "site"))
+            assert calls == [True]
+        finally:
+            operators._group_blocks_streamed = original
+
+
+class TestMmapRankingIdentity:
+    def test_pagerank_identical_on_mmap_graph(self, tmp_path):
+        from repro.core.pagerank import pagerank_open
+
+        g = google_contest_like(3000, 50, seed=13)
+        path = tmp_path / "wg"
+        save_webgraph(g, path)
+        mapped = load_webgraph(path, mmap=True)
+        assert mapped.fingerprint() == g.fingerprint()
+        a = pagerank_open(g).ranks
+        b = pagerank_open(mapped).ranks
+        assert a.tobytes() == b.tobytes()
+
+    def test_flat_engine_identical_on_mmap_graph(self, tmp_path):
+        from repro.core.coordinator import run_distributed_pagerank
+
+        g = google_contest_like(3000, 50, seed=13)
+        path = tmp_path / "wg"
+        save_webgraph(g, path)
+        mapped = load_webgraph(path, mmap=True)
+        reference = np.full(g.n_pages, 1.0 / g.n_pages)
+
+        def run(graph):
+            return run_distributed_pagerank(
+                graph,
+                n_groups=8,
+                algorithm="dpr1",
+                transport="indirect",
+                overlay="pastry",
+                t1=6.0,
+                t2=6.0,
+                seed=17,
+                schedule="sync",
+                sample_interval=6.0,
+                engine="flat",
+                partition=make_partition(graph, 8, "site"),
+                reference=reference,
+                max_time=21.0,
+            )
+
+        assert run(g).ranks.tobytes() == run(mapped).ranks.tobytes()
+
+
+class TestSharedMemoryPassThrough:
+    def test_mmap_graph_ships_paths_not_segments(self, tmp_path):
+        from repro.parallel.sharedmem import SharedWorkload, attach_workload
+
+        g = google_contest_like(1500, 20, seed=21)
+        path = tmp_path / "wg"
+        save_webgraph(g, path)
+        mapped = load_webgraph(path, mmap=True)
+        with SharedWorkload(mapped, {}) as workload:
+            spec = workload.spec()
+            entries = spec["graph"]["arrays"]
+            assert "mmap_path" in entries["indices"]
+            assert "mmap_path" in entries["indptr"]
+            keepalive = []
+            attached, _ = attach_workload(spec, keepalive)
+            assert attached.fingerprint() == g.fingerprint()
+
+    def test_inmemory_graph_still_uses_shm(self, contest_small):
+        from repro.parallel.sharedmem import SharedWorkload, attach_workload
+
+        with SharedWorkload(contest_small, {}) as workload:
+            spec = workload.spec()
+            if workload.uses_shm:  # shm can be unavailable in sandboxes
+                entries = spec["graph"]["arrays"]
+                assert all("name" in e for e in entries.values())
+            keepalive = []
+            attached, _ = attach_workload(spec, keepalive)
+            assert attached.fingerprint() == contest_small.fingerprint()
+
+
+class TestChunkedFingerprint:
+    def test_matches_monolithic_digest(self, contest_small):
+        import hashlib
+
+        h = hashlib.sha1()
+        h.update(str(contest_small.n_pages).encode())
+        for arr in (
+            contest_small.indptr,
+            contest_small.indices,
+            contest_small.site_of,
+            contest_small.external_out,
+        ):
+            h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+        h.update("\x00".join(contest_small.site_names).encode("utf-8"))
+        assert contest_small.fingerprint() == h.hexdigest()

@@ -110,3 +110,116 @@ class TestMakePartition:
     def test_unknown_strategy(self, contest_small):
         with pytest.raises(ValueError, match="unknown strategy"):
             make_partition(contest_small, 4, "metis")
+
+
+class TestDegenerateInputs:
+    """Partition metrics on empty groups, K > n, and single sites."""
+
+    def test_imbalance_with_empty_groups(self, tiny_graph):
+        # 5 pages all in group 0 of 4: max=5, mean=1.25.
+        part = Partition(np.zeros(5, dtype=np.int64), 4)
+        assert part.imbalance() == pytest.approx(4.0)
+
+    def test_imbalance_single_group(self, tiny_graph):
+        part = Partition(np.zeros(tiny_graph.n_pages, dtype=np.int64), 1)
+        assert part.imbalance() == pytest.approx(1.0)
+
+    def test_more_groups_than_pages(self, tiny_graph):
+        part = make_partition(tiny_graph, 50, "url")
+        assert part.n_groups == 50
+        sizes = part.group_sizes()
+        assert sizes.sum() == tiny_graph.n_pages
+        # Most groups are empty; their pages_of_group must be empty
+        # arrays, not errors.
+        for g in range(50):
+            assert part.pages_of_group(g).size == sizes[g]
+
+    def test_single_site_graph(self):
+        g = google_contest_like(120, 1, seed=0)
+        for strategy in ("site", "rendezvous", "ldg"):
+            part = make_partition(g, 4, strategy)
+            # One site cannot be split: everything lands on one group.
+            assert len(set(part.group_of.tolist())) == 1
+
+    def test_pages_of_group_out_of_range(self, tiny_graph):
+        part = make_partition(tiny_graph, 2, "site")
+        with pytest.raises(IndexError):
+            part.pages_of_group(2)
+
+
+class TestCoversAllPages:
+    """Every strategy assigns every page to exactly one group."""
+
+    @pytest.mark.parametrize(
+        "strategy", ["random", "url", "site", "rendezvous", "contiguous", "ldg"]
+    )
+    @pytest.mark.parametrize("n_groups", [1, 3, 16])
+    def test_partition_is_exact_cover(self, contest_small, strategy, n_groups):
+        part = make_partition(contest_small, n_groups, strategy, seed=5)
+        seen = np.concatenate(
+            [part.pages_of_group(g) for g in range(n_groups)]
+        )
+        assert seen.size == contest_small.n_pages
+        np.testing.assert_array_equal(
+            np.sort(seen), np.arange(contest_small.n_pages)
+        )
+
+
+class TestLdg:
+    def test_deterministic(self, contest_small):
+        a = make_partition(contest_small, 6, "ldg")
+        b = make_partition(contest_small, 6, "ldg")
+        assert a == b
+
+    def test_keeps_sites_whole(self, contest_small):
+        from repro.graph import count_split_sites
+
+        part = make_partition(contest_small, 6, "ldg")
+        assert count_split_sites(contest_small.site_of, part.group_of) == 0
+
+    def test_cut_and_balance_competitive_with_site_hash(self, contest_small):
+        from repro.graph import partition_cut_statistics
+
+        ldg = partition_cut_statistics(
+            contest_small, make_partition(contest_small, 6, "ldg")
+        )
+        site = partition_cut_statistics(
+            contest_small, make_partition(contest_small, 6, "site")
+        )
+        # The greedy streamer trades at most a sliver of cut for
+        # balance: cut within 10% of the oblivious hash, imbalance no
+        # worse.
+        assert ldg.n_cut_links <= 1.1 * site.n_cut_links
+        assert ldg.as_dict()["imbalance"] <= site.as_dict()["imbalance"]
+
+    def test_balance_respects_slack(self, contest_small):
+        from repro.graph.partition import partition_ldg
+
+        part = partition_ldg(contest_small, 4, slack=0.2)
+        sizes = part.group_sizes()
+        # Capacity bound can only be exceeded by one site's worth of
+        # pages (a site is never split to honor it exactly).
+        largest_site = int(np.bincount(contest_small.site_of).max())
+        cap = 1.2 * contest_small.n_pages / 4
+        assert sizes.max() <= cap + largest_site
+
+
+class TestSplitSiteAccounting:
+    def test_count_split_sites(self):
+        from repro.graph import count_split_sites
+
+        site_of = np.array([0, 0, 1, 1, 2])
+        group_of = np.array([0, 1, 1, 1, 0])
+        assert count_split_sites(site_of, group_of) == 1
+
+    def test_contiguous_warns_on_split_sites(self, contest_small):
+        with pytest.warns(UserWarning, match="split"):
+            partition_contiguous(contest_small, 7)
+
+    def test_contiguous_warning_silenceable(self, contest_small, recwarn):
+        partition_contiguous(contest_small, 7, warn_site_splits=False)
+        assert len(recwarn) == 0
+
+    def test_site_hash_never_warns(self, contest_small, recwarn):
+        partition_by_site_hash(contest_small, 7)
+        assert len(recwarn) == 0
