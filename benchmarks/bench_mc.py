@@ -1,0 +1,155 @@
+"""Bench: Monte-Carlo random-walk engine accuracy and traffic.
+
+Three measurements, written to ``BENCH_mc.json`` at the repo root on
+teardown:
+
+* **Accuracy gate** — at a small contest-like scale the mc engine's
+  final L1 error against the centralized open-system reference must be
+  within :func:`repro.linalg.montecarlo.mc_error_tolerance`, the
+  Chernoff-style bound documented in docs/ALGORITHMS.md.  Seeds are
+  fixed, so this is a deterministic CI gate, and the bound carries a
+  2x safety factor over the expected error.
+* **Scaling check** — the measured error must shrink as walks_per_page
+  grows (the bound says 1/sqrt(R); the gate requires strict decrease
+  across R = 4 -> 16 -> 64 on the fixed seed).
+* **Headline scale** — one 1e5-page bake-off point (rounds, messages,
+  bytes, wall-clock, error vs tolerance).  A 1e6-page run of the same
+  shape is available behind ``REPRO_BENCH_XL=1``.
+
+Every run goes through ``run_distributed_pagerank(engine="mc")`` — the
+full partition/overlay/transport stack, not the bare kernel — so the
+traffic numbers in the JSON are the paper-model numbers.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.coordinator import run_distributed_pagerank
+from repro.core.pagerank import pagerank_open
+from repro.graph import google_contest_like
+from repro.linalg import mc_error_tolerance
+
+import numpy as np
+import pytest
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_mc.json"
+
+#: Synchronous tick period (virtual time; arbitrary under sync).
+PERIOD = 6.0
+
+#: walks_per_page ladder for the scaling check.
+WALK_LADDER = (4, 16, 64)
+
+#: Headline scale, and the XL variant gated behind REPRO_BENCH_XL=1.
+HEADLINE = dict(name="100k", n_pages=100_000, n_sites=2_000, n_groups=64)
+XL = dict(name="1m", n_pages=1_000_000, n_sites=20_000, n_groups=128)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write BENCH_mc.json once every case has run."""
+    yield
+    if not _RESULTS:
+        return
+    BENCH_JSON.write_text(json.dumps(_RESULTS, indent=2) + "\n")
+
+
+def _relative_l1(estimate, reference):
+    return float(np.abs(estimate - reference).sum() / np.abs(reference).sum())
+
+
+def _mc_point(graph, reference, *, n_groups, walks_per_page, seed=2003):
+    t0 = time.perf_counter()
+    res = run_distributed_pagerank(
+        graph,
+        n_groups=n_groups,
+        engine="mc",
+        schedule="sync",
+        partition_strategy="site",
+        transport="indirect",
+        overlay="pastry",
+        t1=PERIOD,
+        t2=PERIOD,
+        sample_interval=PERIOD,
+        seed=seed,
+        walks_per_page=walks_per_page,
+        reference=reference,
+        max_time=100_000.0,
+    )
+    wall = time.perf_counter() - t0
+    err = _relative_l1(res.ranks, reference)
+    return {
+        "walks_per_page": walks_per_page,
+        "rounds": res.max_outer_iterations,
+        "token_steps": int(res.inner_sweeps.sum()),
+        "messages": res.traffic.total_messages,
+        "bytes": res.traffic.total_bytes,
+        "wall_s": round(wall, 3),
+        "l1_error": round(err, 6),
+        "tolerance": round(mc_error_tolerance(reference, walks_per_page), 6),
+    }
+
+
+def test_accuracy_gate_and_scaling():
+    """Small-scale gates: error within tolerance, shrinking with R."""
+    graph = google_contest_like(5_000, 100, seed=17)
+    reference = pagerank_open(graph).ranks
+
+    ladder = []
+    for walks in WALK_LADDER:
+        point = _mc_point(graph, reference, n_groups=16, walks_per_page=walks)
+        # CI gate 1: measured error within the documented bound.
+        assert point["l1_error"] <= point["tolerance"], (
+            f"mc error {point['l1_error']:.4f} exceeded the documented "
+            f"tolerance {point['tolerance']:.4f} at R={walks}"
+        )
+        ladder.append(point)
+
+    # CI gate 2: error strictly shrinks as walks_per_page grows.
+    errs = [p["l1_error"] for p in ladder]
+    assert errs == sorted(errs, reverse=True), (
+        f"mc error did not shrink along the walk ladder: {errs}"
+    )
+    assert errs[-1] < errs[0] / 2
+
+    _RESULTS["accuracy"] = {
+        "n_pages": graph.n_pages,
+        "n_groups": 16,
+        "safety_factor": 2.0,
+        "ladder": ladder,
+    }
+
+
+def _headline_case(case, walks_per_page=16):
+    graph = google_contest_like(case["n_pages"], case["n_sites"], seed=17)
+    reference = pagerank_open(graph).ranks
+    point = _mc_point(
+        graph,
+        reference,
+        n_groups=case["n_groups"],
+        walks_per_page=walks_per_page,
+    )
+    assert point["l1_error"] <= point["tolerance"]
+    _RESULTS[case["name"]] = {
+        "n_pages": case["n_pages"],
+        "n_groups": case["n_groups"],
+        **point,
+    }
+
+
+def test_headline_100k():
+    """1e5 pages through the full mc stack, error gated."""
+    _headline_case(HEADLINE)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_XL") != "1",
+    reason="1e6-page case runs only with REPRO_BENCH_XL=1",
+)
+def test_xl_1m():
+    """1e6 pages; minutes of wall-clock, opt-in."""
+    _headline_case(XL)

@@ -12,6 +12,9 @@ Usage::
     python -m repro graphgen --out DIR [--pages N] [--chunk-pages C]
     python -m repro partitions [--pages N] [--groups K] [--graph DIR]
                                [--strategies site,ldg,...] [--cut-only]
+    python -m repro engines [--pages N] [--groups K] [--target EPS]
+                            [--engines dpr1,dpr2-event,flat,mc]
+                            [--walks-per-page R]
 
 Every subcommand prints the same text tables the benches save, so a
 user can regenerate any paper artifact without touching pytest.
@@ -90,10 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine(p):
         p.add_argument(
-            "--engine", choices=["event", "flat"], default="event",
-            help="execution engine: per-message event simulation, or "
-            "vectorized bulk-synchronous rounds (much faster at scale; "
-            "requires --schedule sync and samples once per round)",
+            "--engine", choices=["event", "flat", "mc"], default="event",
+            help="execution engine: per-message event simulation (event), "
+            "vectorized bulk-synchronous rounds (flat; much faster at "
+            "scale), or the Monte-Carlo random-walk estimator (mc; "
+            "statistical accuracy, O(log n) rounds).  flat and mc "
+            "require --schedule sync and sample once per round",
         )
         p.add_argument(
             "--schedule", choices=["async", "sync"], default="async",
@@ -140,6 +145,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--target", type=float, default=1e-5,
                        help="target relative error")
     p_run.add_argument("--max-time", type=float, default=1000.0)
+
+    def add_mc(p):
+        g_mc = p.add_argument_group(
+            "monte-carlo", "random-walk engine knobs (--engine mc; "
+            "repro.linalg.montecarlo)"
+        )
+        g_mc.add_argument(
+            "--walks-per-page", type=_positive_int, default=16,
+            help="walk tokens launched per page; relative L1 error "
+            "scales as 1/sqrt(R)",
+        )
+        g_mc.add_argument(
+            "--walk-mode", choices=["terminate", "visit"],
+            default="terminate",
+            help="rank estimator: credit walk terminations, or every "
+            "visit scaled by 1-alpha",
+        )
+        g_mc.add_argument(
+            "--dangling-mode", choices=["absorb", "jump"],
+            default="absorb",
+            help="walks at zero-out-degree pages die (absorb, the "
+            "open-system reference behaviour) or restart at a random "
+            "page (jump; biased vs. the centralized reference)",
+        )
+        return g_mc
+
+    add_mc(p_run)
 
     g_rel = p_run.add_argument_group(
         "reliability", "ACK/retry transport layer (repro.net.reliable)"
@@ -251,6 +283,46 @@ def build_parser() -> argparse.ArgumentParser:
         "set, else no caching); cached tables reproduce byte-identically",
     )
 
+    p_eng = sub.add_parser(
+        "engines",
+        help="engine bake-off: rounds-to-ε, L1 error, messages, and "
+        "bytes for dpr1/dpr2-event/flat/mc on one identical workload",
+    )
+    add_workload(p_eng)
+    p_eng.add_argument("--groups", type=_positive_int, default=16,
+                       help="ranker count K")
+    p_eng.add_argument(
+        "--engines",
+        type=lambda s: [x for x in s.split(",") if x],
+        default=None,
+        help="comma-separated contender names (default: all of "
+        "dpr1,dpr2-event,flat,mc)",
+    )
+    p_eng.add_argument(
+        "--target", type=_positive_float, default=1e-4,
+        help="relative-error target ε (the Jacobi engines stop here; "
+        "mc runs to walk exhaustion unless it reaches ε first)",
+    )
+    p_eng.add_argument(
+        "--max-time", type=_positive_float, default=3000.0,
+        help="simulated-time budget per run",
+    )
+    p_eng.add_argument(
+        "--walks-per-page", type=_positive_int, default=16,
+        help="mc walk tokens per page (error scales as 1/sqrt(R))",
+    )
+    p_eng.add_argument(
+        "--graph", default=None,
+        help="load this saved webgraph (directory → memory-mapped, "
+        "*.npz → in-memory) instead of generating one; --pages/--sites "
+        "are ignored",
+    )
+    p_eng.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR if "
+        "set, else no caching); cached tables reproduce byte-identically",
+    )
+
     p_all = sub.add_parser("all", help="run the full reproduction suite")
     add_workload(p_all)
     p_all.add_argument(
@@ -340,6 +412,9 @@ def cmd_run(args) -> int:
             t2=args.t2,
             delivery_prob=args.delivery_prob,
             seed=args.seed,
+            walks_per_page=args.walks_per_page,
+            walk_mode=args.walk_mode,
+            dangling_mode=args.dangling_mode,
             reliable=args.reliable,
             retry_timeout=args.retry_timeout,
             retry_backoff=args.retry_backoff,
@@ -464,6 +539,35 @@ def cmd_partitions(args) -> int:
     return 0
 
 
+def cmd_engines(args) -> int:
+    """Run the engine bake-off and print its table."""
+    import contextlib
+
+    from repro.experiments import ENGINE_CONTENDERS, run_engine_bakeoff
+    from repro.parallel.cache import ArtifactCache, activate, cache_from_env
+
+    if args.graph is not None:
+        from repro.graph.io import load_webgraph
+
+        graph = load_webgraph(args.graph, mmap=not str(args.graph).endswith(".npz"))
+    else:
+        graph = _make_graph(args)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    ctx = activate(cache) if cache is not None else contextlib.nullcontext()
+    with ctx:
+        result = run_engine_bakeoff(
+            graph,
+            n_groups=args.groups,
+            engines=args.engines or ENGINE_CONTENDERS,
+            seed=args.seed,
+            target_relative_error=args.target,
+            max_time=args.max_time,
+            walks_per_page=args.walks_per_page,
+        )
+    print(result.format())
+    return 0
+
+
 def cmd_all(args) -> int:
     """Run every experiment and print/write the combined report."""
     from repro.experiments import ExperimentScale, run_all
@@ -491,6 +595,7 @@ COMMANDS = {
     "summary": cmd_summary,
     "graphgen": cmd_graphgen,
     "partitions": cmd_partitions,
+    "engines": cmd_engines,
     "all": cmd_all,
 }
 

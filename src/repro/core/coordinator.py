@@ -70,6 +70,11 @@ class DistributedConfig:
     #: whole-system block SpMVs with analytically accounted traffic
     #: (see :mod:`repro.core.engine`).  Under the synchronous schedule
     #: the two produce bit-identical ranks and identical traffic.
+    #: "mc" replaces the Jacobi iteration entirely with the seeded
+    #: Monte-Carlo random-walk estimator (Das Sarma et al.; see
+    #: :mod:`repro.linalg.montecarlo`): statistically-toleranced
+    #: ranks in O(log n) rounds, with cut-crossing walk tokens as the
+    #: per-round messages.
     engine: str = "event"
     #: Wake scheduling of the *event* engine: "async" draws
     #: exponential waits (the paper's timing model); "sync" makes
@@ -108,6 +113,20 @@ class DistributedConfig:
     #: the uniform [t1, t2] draw.  Lets experiments model deliberate
     #: stragglers / heterogeneous hardware.
     mean_waits: Optional[Sequence[float]] = None
+
+    # -- Monte-Carlo engine (engine="mc"; repro.linalg.montecarlo) -----
+    #: Walk tokens launched per page — the estimator's R.  Relative L1
+    #: error shrinks as 1/sqrt(walks_per_page); the documented bound is
+    #: :func:`repro.linalg.montecarlo.mc_error_tolerance`.
+    walks_per_page: int = 16
+    #: Rank estimator: "terminate" credits a page per walk termination
+    #: (one count per walk, lowest variance per count); "visit" credits
+    #: every round a token spends on the page, scaled by 1−α.
+    walk_mode: str = "terminate"
+    #: Walk behaviour at zero-out-degree pages: "absorb" (open-system,
+    #: matches the centralized reference) or "jump" (classic random
+    #: jump; biased vs. the open-system fixed point — opt-in).
+    dangling_mode: str = "absorb"
 
     # -- reliability layer (ACK/retry; see repro.net.reliable) ---------
     #: Wrap the transport in ReliableTransport (seq numbers, ACKs,
@@ -153,12 +172,18 @@ class DistributedConfig:
             raise ValueError("n_groups must be >= 1")
         if self.algorithm not in ("dpr1", "dpr2"):
             raise ValueError("algorithm must be 'dpr1' or 'dpr2'")
-        if self.engine not in ("event", "flat"):
-            raise ValueError("engine must be 'event' or 'flat'")
+        if self.engine not in ("event", "flat", "mc"):
+            raise ValueError("engine must be 'event', 'flat', or 'mc'")
         if self.schedule not in ("async", "sync"):
             raise ValueError("schedule must be 'async' or 'sync'")
         if self.x_mode not in ("exact", "delta"):
             raise ValueError("x_mode must be 'exact' or 'delta'")
+        if self.walks_per_page < 1:
+            raise ValueError("walks_per_page must be >= 1")
+        if self.walk_mode not in ("terminate", "visit"):
+            raise ValueError("walk_mode must be 'terminate' or 'visit'")
+        if self.dangling_mode not in ("absorb", "jump"):
+            raise ValueError("dangling_mode must be 'absorb' or 'jump'")
         check_fraction(self.alpha, "alpha")
         check_non_negative(self.t1, "t1")
         check_non_negative(self.t2, "t2")
@@ -182,43 +207,50 @@ class DistributedConfig:
             )
         period = max(0.5 * (self.t1 + self.t2), MIN_MEAN_WAIT)
         if self.sample_interval is None:
-            self.sample_interval = period if self.engine == "flat" else 1.0
+            self.sample_interval = period if self.engine in ("flat", "mc") else 1.0
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be > 0")
-        if self.engine == "flat":
+        if self.engine in ("flat", "mc"):
             if self.schedule != "sync":
                 raise ValueError(
-                    "engine='flat' implements the synchronous schedule; "
-                    "pass schedule='sync' (the event engine simulates "
-                    "schedule='async')"
+                    f"engine={self.engine!r} implements the synchronous "
+                    "schedule; pass schedule='sync' (the event engine "
+                    "simulates schedule='async')"
                 )
             ratio = self.sample_interval / period
             if ratio < 1.0 or not float(ratio).is_integer():
                 raise ValueError(
-                    "engine='flat' samples at round boundaries: "
+                    f"engine={self.engine!r} samples at round boundaries: "
                     "sample_interval must be a whole multiple of the "
                     f"synchronous period {period!r} (got "
                     f"{self.sample_interval!r}); pass "
                     "sample_interval=None to use the period itself"
                 )
-        if self.engine == "flat":
-            unsupported = [
-                name
-                for name, active in (
-                    ("reliable", self.reliable),
-                    ("suppress_tol", self.suppress_tol > 0.0),
-                    ("pause_faults", self.pause_faults > 0),
-                    ("crash_prob", self.crash_prob > 0.0),
-                    ("heartbeat_interval", self.heartbeat_interval > 0.0),
-                    ("checkpoint_interval", self.checkpoint_interval > 0.0),
-                    ("recovery", self.recovery),
-                    ("x_mode='delta'", self.x_mode == "delta"),
-                )
-                if active
+        if self.engine in ("flat", "mc"):
+            checks = [
+                ("reliable", self.reliable),
+                ("suppress_tol", self.suppress_tol > 0.0),
+                ("pause_faults", self.pause_faults > 0),
+                ("crash_prob", self.crash_prob > 0.0),
+                ("heartbeat_interval", self.heartbeat_interval > 0.0),
+                ("checkpoint_interval", self.checkpoint_interval > 0.0),
+                ("recovery", self.recovery),
+                ("x_mode='delta'", self.x_mode == "delta"),
             ]
+            if self.engine == "mc":
+                # Walk tokens are not idempotent rank vectors: a lost
+                # token silently biases the estimator, and a vector E
+                # would need per-token start weights.  Both stay out
+                # until someone needs them.
+                checks += [
+                    ("delivery_prob < 1", self.delivery_prob < 1.0),
+                    ("vector-valued e", isinstance(self.e, np.ndarray)),
+                ]
+            unsupported = [name for name, active in checks if active]
             if unsupported:
                 raise ValueError(
-                    "engine='flat' runs failure-free bulk-synchronous rounds "
+                    f"engine={self.engine!r} runs failure-free "
+                    "bulk-synchronous rounds "
                     f"and does not support: {', '.join(unsupported)}; "
                     "use the event engine for those features"
                 )
@@ -688,11 +720,12 @@ def run_distributed_pagerank(
         from dataclasses import replace
 
         config = replace(config, **config_overrides)
-    if config.engine == "flat":
+    if config.engine in ("flat", "mc"):
         # Imported lazily: the engine module imports coordinator types.
-        from repro.core.engine import SynchronousEngine
+        from repro.core.engine import MonteCarloEngine, SynchronousEngine
 
-        return SynchronousEngine(
+        cls = SynchronousEngine if config.engine == "flat" else MonteCarloEngine
+        return cls(
             graph, config, partition=partition, reference=reference
         ).run(
             max_time=max_time,

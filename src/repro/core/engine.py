@@ -100,11 +100,70 @@ from repro.overlay import build_overlay
 from repro.utils.memory import trim_heap
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["SynchronousEngine"]
+__all__ = ["MonteCarloEngine", "SynchronousEngine"]
 
 #: Shared zero-length payload for calibration ScoreUpdates — the
 #: transports only read routing metadata and ``n_link_records``.
 _EMPTY = np.empty(0, dtype=np.float64)
+
+
+def _replay_transport_round(
+    config: DistributedConfig,
+    overlay,
+    sends: List[Tuple[int, int, int]],
+) -> Tuple[List[Tuple[int, int]], TrafficAccountant]:
+    """Route one round's sends through the real transport stack.
+
+    ``sends`` lists ``(src_group, dst_group, n_records)`` triples in
+    emission order (sources ascending, destinations ascending within a
+    source — the order rankers tick and emit in a synchronous round).
+    Returns the delivery order as (src, dst) in upcall sequence and a
+    scratch accountant holding the round's exact traffic.  Updates are
+    empty-payload (byte accounting only reads ``n_link_records``) on a
+    fresh simulator, so the cost is O(sends) regardless of page count.
+
+    Shared by the flat engine (fixed per-round record counts from the
+    cross blocks) and the Monte-Carlo engine (per-round walk-token
+    counts, a different number every round).
+    """
+    sim = Simulator()
+    acc = TrafficAccountant(config.n_groups)
+    kwargs = {}
+    if config.transport == "indirect":
+        kwargs["aggregation_delay"] = config.aggregation_delay
+    transport = build_transport(
+        config.transport,
+        sim,
+        overlay,
+        acc,
+        loss=NoLoss(),
+        latency=FixedLatency(config.hop_delay),
+        **kwargs,
+    )
+    order: List[Tuple[int, int]] = []
+    transport.attach(
+        lambda dst, update: order.append((update.src_group, dst))
+    )
+    i = 0
+    n = len(sends)
+    while i < n:
+        g = sends[i][0]
+        updates = []
+        while i < n and sends[i][0] == g:
+            h, records = sends[i][1], sends[i][2]
+            updates.append(
+                ScoreUpdate(
+                    src_group=g,
+                    dst_group=h,
+                    values=_EMPTY,
+                    n_link_records=records,
+                    generation=0,
+                )
+            )
+            i += 1
+        transport.send_updates(g, updates)
+    sim.run()
+    return order, acc
 
 
 class SynchronousEngine:
@@ -402,50 +461,13 @@ class SynchronousEngine:
         """Route one round's surviving sends through the real transport.
 
         Returns the delivery order as (src, dst) in upcall sequence and
-        a scratch accountant holding the round's exact traffic.  The
-        replay uses empty-payload updates (byte accounting only reads
-        ``n_link_records``) on a fresh simulator, so it is O(pairs)
-        regardless of page count.
+        a scratch accountant holding the round's exact traffic (see
+        :func:`_replay_transport_round`, which the Monte-Carlo engine
+        shares for its per-round walk-token traffic).
         """
-        cfg = self.config
-        sim = Simulator()
-        acc = TrafficAccountant(cfg.n_groups)
-        kwargs = {}
-        if cfg.transport == "indirect":
-            kwargs["aggregation_delay"] = cfg.aggregation_delay
-        transport = build_transport(
-            cfg.transport,
-            sim,
-            self.overlay,
-            acc,
-            loss=NoLoss(),
-            latency=FixedLatency(cfg.hop_delay),
-            **kwargs,
+        return _replay_transport_round(
+            self.config, self.overlay, [(p[0], p[1], p[4]) for p in pairs]
         )
-        order: List[Tuple[int, int]] = []
-        transport.attach(
-            lambda dst, update: order.append((update.src_group, dst))
-        )
-        i = 0
-        n = len(pairs)
-        while i < n:
-            g = pairs[i][0]
-            updates = []
-            while i < n and pairs[i][0] == g:
-                h, records = pairs[i][1], pairs[i][4]
-                updates.append(
-                    ScoreUpdate(
-                        src_group=g,
-                        dst_group=h,
-                        values=_EMPTY,
-                        n_link_records=records,
-                        generation=0,
-                    )
-                )
-                i += 1
-            transport.send_updates(g, updates)
-        sim.run()
-        return order, acc
 
     def _build_afferent(self, order: List[Tuple[int, int]]) -> sp.csr_matrix:
         """Assemble the 0/1 afferent matrix F with X = F·Y (lossless).
@@ -731,6 +753,307 @@ class SynchronousEngine:
             time_to_target=target_time,
             outer_iterations=np.full(cfg.n_groups, self._rounds, dtype=np.int64),
             inner_sweeps=self._inner_sweeps.copy(),
+            accountant=self.accountant,
+            now=t,
+            dropped_updates=self.dropped_updates,
+            quiescent=quiescent,
+            quiescence_time=quiescence_time,
+            config=cfg,
+        )
+
+
+class MonteCarloEngine:
+    """Distributed random-walk ranking over the partitioned system.
+
+    Construction mirrors :class:`SynchronousEngine` (same partition
+    and overlay from the same named seeds, same ``RunResult`` via
+    :func:`~repro.core.coordinator.assemble_run_result`), but the
+    computation is the Monte-Carlo estimator of
+    :mod:`repro.linalg.montecarlo` instead of Jacobi iteration: each
+    bulk-synchronous round advances every alive walk token one step,
+    and tokens whose step crosses the partition cut become that
+    round's messages — binned per ordered (source, destination) group
+    pair and replayed through the real transport stack via
+    :func:`_replay_transport_round`, one link record per forwarded
+    token.  Per-round traffic therefore *decays* with the alive-token
+    population (geometric in the round number) instead of staying
+    constant like DPR1/DPR2's cut vectors.
+
+    The engine never builds the grouped operator: walks read the raw
+    CSR, so construction is O(n) and the per-round cost is O(alive
+    tokens) — the whole run touches ~``n·walks_per_page/(1−α)`` token
+    steps.  Accuracy is statistical, not iterative: the final estimate
+    carries the documented tolerance
+    :func:`~repro.linalg.montecarlo.mc_error_tolerance` rather than a
+    convergence guarantee, and the run naturally completes when every
+    token has terminated (the estimate can no longer change).
+
+    Parameters
+    ----------
+    graph, config:
+        The crawl and experiment parameters; the config must satisfy
+        the ``engine="mc"`` restrictions (synchronous schedule,
+        failure-free, lossless, scalar ``e``).
+    partition, reference:
+        Optional precomputed partition / centralized solution.  The
+        default reference is :func:`~repro.core.pagerank.pagerank_open`
+        on the same graph — the fixed point the estimator is unbiased
+        for under ``dangling_mode="absorb"``.
+    """
+
+    def __init__(
+        self,
+        graph: WebGraph,
+        config: DistributedConfig,
+        *,
+        partition: Optional[Partition] = None,
+        reference: Optional[np.ndarray] = None,
+    ):
+        from repro.core.pagerank import pagerank_open
+        from repro.linalg.montecarlo import RandomWalkState
+
+        self.graph = graph
+        self.config = config
+        seeds = SeedSequenceFactory(config.seed)
+
+        self.partition = (
+            partition
+            if partition is not None
+            else make_partition(
+                graph,
+                config.n_groups,
+                config.partition_strategy,
+                seed=seeds.seed("partition"),
+            )
+        )
+        if self.partition.n_groups != config.n_groups:
+            raise ValueError("partition n_groups disagrees with config")
+
+        self.reference = (
+            np.asarray(reference, dtype=np.float64)
+            if reference is not None
+            else pagerank_open(graph, config.alpha, e=config.e).ranks
+        )
+
+        self.overlay = build_overlay(
+            config.overlay, config.n_groups, seed=seeds.seed("overlay") % (2**31)
+        )
+        self.accountant = TrafficAccountant(config.n_groups)
+        self.dropped_updates = 0
+
+        self.state = RandomWalkState(
+            graph,
+            alpha=config.alpha,
+            walks_per_page=config.walks_per_page,
+            walk_mode=config.walk_mode,
+            dangling=config.dangling_mode,
+            start_weight=1.0 if config.e is None else float(config.e),
+            rng=seeds.generator("walks"),
+        )
+        k = config.n_groups
+        self._group_of = self.partition.group_of
+        self._rounds = 0
+        #: Token steps executed per group — the mc analogue of the
+        #: Jacobi engines' inner-sweep work counter.
+        self._token_steps = np.zeros(k, dtype=np.int64)
+        #: Per-group L1 growth of the estimate in the last round (the
+        #: estimate is monotone, so growth == |change|) — drives the
+        #: same quiescence test the other engines run.
+        self._last_delta = np.full(k, np.inf, dtype=np.float64)
+        # §4.4 bridge inputs, accumulated over the run: total crossing
+        # link records and the set of communicating pairs.
+        self._crossing_records = 0
+        self._pairs_seen: set = set()
+
+        #: Common tick period of the synchronous schedule.
+        self.period = max(0.5 * (config.t1 + config.t2), MIN_MEAN_WAIT)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of page groups (the paper's K)."""
+        return self.config.n_groups
+
+    def paper_round_estimate(self) -> Dict[str, float]:
+        """Per-round traffic predicted by the paper's §4.4 formulas.
+
+        The mc counterpart of
+        :meth:`SynchronousEngine.paper_round_estimate`: W is the *mean*
+        walk records crossing the cut per executed round (walk traffic
+        decays, so only the mean is well-defined per round), and h is
+        the overlay mean hop count over the pairs that actually carried
+        tokens.  Call after :meth:`run`; before any round both terms
+        are zero.
+        """
+        from repro.analysis.cost_model import (
+            direct_data_bytes,
+            direct_messages,
+            indirect_data_bytes,
+            indirect_messages,
+        )
+
+        k = self.config.n_groups
+        w = self._crossing_records / max(self._rounds, 1)
+        hop_counts = [self.overlay.hops(g, h) for g, h in sorted(self._pairs_seen)]
+        h_mean = float(np.mean(hop_counts)) if hop_counts else 0.0
+        if self.config.transport == "indirect":
+            return {
+                "data_messages": indirect_messages(
+                    k, self.overlay.mean_neighbor_count()
+                ),
+                "data_bytes": indirect_data_bytes(w, h_mean),
+            }
+        return {
+            "data_messages": direct_messages(k, h_mean),
+            "data_bytes": direct_data_bytes(w, h_mean, k),
+        }
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        """One bulk-synchronous round: step all tokens, ship crossers."""
+        k = self.config.n_groups
+        pos = self.state.pos
+        if pos.size:
+            self._token_steps += np.bincount(self._group_of[pos], minlength=k)
+        src, dst, counted = self.state.step()
+        # Per-group estimate growth (quiescence signal): exactly the
+        # mass credited this round, in rank units.
+        if counted.size:
+            self._last_delta = (
+                np.bincount(self._group_of[counted], minlength=k).astype(
+                    np.float64
+                )
+                * self.state.estimate_factor
+            )
+        else:
+            self._last_delta = np.zeros(k, dtype=np.float64)
+        # Cut-crossing tokens become this round's messages: bin them
+        # per ordered (src, dst) group pair — bincount over src·K+dst
+        # yields (source ascending, destination ascending), the same
+        # emission order the other engines use — and replay through
+        # the real transport, one link record per forwarded token.
+        if src.size:
+            gs = self._group_of[src]
+            gd = self._group_of[dst]
+            cross = gs != gd
+            if cross.any():
+                codes = gs[cross].astype(np.int64) * k + gd[cross]
+                counts = np.bincount(codes, minlength=k * k)
+                sends = [
+                    (int(c) // k, int(c) % k, int(counts[c]))
+                    for c in np.flatnonzero(counts)
+                ]
+                _, acc = _replay_transport_round(
+                    self.config, self.overlay, sends
+                )
+                self.accountant.merge(acc)
+                self._crossing_records += int(counts.sum())
+                self._pairs_seen.update((s, d) for s, d, _ in sends)
+        self._rounds += 1
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_time: float = 1000.0,
+        target_relative_error: Optional[float] = None,
+        quiescence_delta: Optional[float] = None,
+        quiescence_samples: int = 3,
+    ) -> RunResult:
+        """Execute rounds until a stop condition; gather a RunResult.
+
+        The tick/sample clocks replicate :meth:`SynchronousEngine.run`
+        (rounds at the common period, samples at whole multiples of
+        it, the sample at a tick observing the rounds completed before
+        it).  Stop conditions: target relative error, quiescence
+        (every group's last-round estimate growth at or below
+        ``quiescence_delta`` for ``quiescence_samples`` consecutive
+        samples), ``max_time`` — plus the estimator's natural
+        completion: once every token has terminated the estimate is
+        final, so the run ends at the first sample that observes an
+        empty ensemble.
+        """
+        cfg = self.config
+        trace = ConvergenceTrace()
+        converged = False
+        target_time: Optional[float] = None
+        quiescent = False
+        quiescence_time: Optional[float] = None
+        quiet_streak = 0
+
+        ranks_buf = np.empty(self.graph.n_pages, dtype=np.float64)
+        denom = l1_norm(self.reference)
+
+        def sample(t: float) -> None:
+            nonlocal converged, target_time, quiescent, quiescence_time, quiet_streak
+            ranks = self.state.estimate(out=ranks_buf)
+            mean_rank = float(ranks.mean()) if ranks.size else 0.0
+            np.subtract(ranks, self.reference, out=ranks)
+            np.abs(ranks, out=ranks)
+            num = float(ranks.sum())
+            if denom == 0.0:
+                err = 0.0 if num == 0.0 else math.inf
+            else:
+                err = num / denom
+            trace.times.append(t)
+            trace.relative_errors.append(err)
+            trace.mean_ranks.append(mean_rank)
+            trace.max_outer_iterations.append(self._rounds)
+            trace.mean_outer_iterations.append(float(self._rounds))
+            snap = self.accountant.snapshot(t)
+            trace.total_messages.append(snap.total_messages)
+            trace.total_bytes.append(snap.total_bytes)
+            if (
+                target_relative_error is not None
+                and err <= target_relative_error
+                and not converged
+            ):
+                converged = True
+                target_time = t
+            if quiescence_delta is not None and not quiescent:
+                quiet = self._rounds > 0 and bool(
+                    (self._last_delta <= quiescence_delta).all()
+                )
+                quiet_streak = quiet_streak + 1 if quiet else 0
+                if quiet_streak >= quiescence_samples:
+                    quiescent = True
+                    quiescence_time = t
+
+        interval = float(cfg.sample_interval)
+        every = int(round(interval / self.period))
+
+        sample(0.0)
+        t = 0.0
+        t_s = 0.0
+        k = 0
+        exhausted = self.state.alive == 0
+        while not converged and not quiescent and not exhausted:
+            t_next = t + self.period
+            if t_next > max_time:
+                t = float(max_time)
+                break
+            t = t_next
+            k += 1
+            if k % every == 0:
+                t_s = t_s + interval
+                sample(t_s)
+                if converged or quiescent:
+                    break
+                if self.state.alive == 0:
+                    # Every token terminated and the final estimate is
+                    # on the trace; further rounds are no-ops.
+                    exhausted = True
+                    break
+            self._round()
+
+        return assemble_run_result(
+            ranks=self.state.estimate(out=ranks_buf),
+            reference=self.reference,
+            trace=trace,
+            converged=converged,
+            time_to_target=target_time,
+            outer_iterations=np.full(cfg.n_groups, self._rounds, dtype=np.int64),
+            inner_sweeps=self._token_steps.copy(),
             accountant=self.accountant,
             now=t,
             dropped_updates=self.dropped_updates,

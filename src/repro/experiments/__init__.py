@@ -27,6 +27,11 @@ from repro.experiments.ablations import (
     TradeoffResult,
     run_time_vs_bandwidth,
 )
+from repro.experiments.engines import (
+    ENGINE_CONTENDERS,
+    EngineBakeoffResult,
+    run_engine_bakeoff,
+)
 from repro.experiments.partitions import (
     BAKEOFF_STRATEGIES,
     PartitionBakeoffResult,
@@ -59,6 +64,9 @@ __all__ = [
     "BAKEOFF_STRATEGIES",
     "PartitionBakeoffResult",
     "run_partition_bakeoff",
+    "ENGINE_CONTENDERS",
+    "EngineBakeoffResult",
+    "run_engine_bakeoff",
     "ReproductionReport",
     "run_all",
     "EXPERIMENTS",

@@ -9,7 +9,9 @@ The paper's mathematics (§2, §3, appendix) is the fixed-point problem
 * the Jacobi fixed-point kernel with full iteration accounting in
   :mod:`~repro.linalg.jacobi`;
 * the norms and convergence bounds of Theorems 3.1–3.3 in
-  :mod:`~repro.linalg.norms`.
+  :mod:`~repro.linalg.norms`;
+* the Monte-Carlo random-walk kernel (Das Sarma et al.) with its
+  statistical accuracy contract in :mod:`~repro.linalg.montecarlo`.
 
 Everything is built on ``scipy.sparse`` CSR matrix-vector products —
 one SpMV per sweep — per the HPC guidance of keeping hot loops inside
@@ -32,6 +34,12 @@ from repro.linalg.acceleration import (
     aitken_extrapolate,
     gauss_seidel_solve,
     jacobi_solve_accelerated,
+)
+from repro.linalg.montecarlo import (
+    MonteCarloResult,
+    RandomWalkState,
+    mc_error_tolerance,
+    montecarlo_pagerank,
 )
 from repro.linalg.norms import (
     l1_norm,
@@ -56,6 +64,10 @@ __all__ = [
     "aitken_extrapolate",
     "gauss_seidel_solve",
     "jacobi_solve_accelerated",
+    "MonteCarloResult",
+    "RandomWalkState",
+    "mc_error_tolerance",
+    "montecarlo_pagerank",
     "l1_norm",
     "linf_norm",
     "relative_l1_error",

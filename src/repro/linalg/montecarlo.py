@@ -1,0 +1,346 @@
+"""Monte-Carlo random-walk PageRank (the ``mc`` engine's kernel).
+
+Das Sarma et al. (PAPERS.md) compute PageRank by *forwarding walk
+tokens* instead of rank vectors: every page launches ``R`` tokens; at
+each synchronous round a token terminates with probability ``1−α`` or
+forwards along one uniformly-sampled out-link; the rank of a page is
+estimated from the number of walk terminations (or visits) it
+collects.  The whole computation finishes in ``O(log n / log(1/α))``
+rounds — the geometric tail of the longest surviving walk — rather
+than the Jacobi iteration count, which is what makes it a genuinely
+different traffic shape for the transport stack: per-round message
+volume *decays* as tokens die instead of staying constant.
+
+Open-system semantics
+---------------------
+This repo's fixed point is the paper's §3 *open system*
+``R = αA R + (1−α)E`` with ``A[v,u] = 1/d(u)`` over internal links
+and ``d(u)`` the **total** out-degree (internal + external): rank
+leaks through external links, and dangling pages forward nothing.
+The walk process mirrors that exactly:
+
+* a token at page ``u`` terminates with probability ``1−α``;
+* otherwise it samples one of ``u``'s ``d(u)`` out-links uniformly —
+  an internal link forwards the token, an external link carries it
+  out of the crawl (the walk dies unseen: the rank leak);
+* at a dangling page (``d(u) = 0``) the forwarding step has nowhere
+  to go.  The default ``dangling="absorb"`` kills the token — the
+  open-system behaviour, matching :func:`repro.core.pagerank
+  .pagerank_open` — while ``dangling="jump"`` restarts it at a
+  uniformly random page (the classic closed-system random jump; on
+  graphs with dangling mass this *biases* the estimate relative to
+  the open-system reference, so it is opt-in).
+
+With ``E(v) = e`` for all pages, each page starts ``R`` tokens of
+weight ``e`` and the estimators are unbiased for the open-system
+fixed point:
+
+* ``walk_mode="terminate"`` — ``R̂(v) = e · #terminations(v) / R``.
+  Each visit terminates with probability exactly ``1−α`` regardless
+  of how the non-terminating branch resolves, so
+  ``E[#terminations(v)] = (1−α) · E[#visits(v)] = R·R(v)/e``.
+* ``walk_mode="visit"`` — ``R̂(v) = e·(1−α) · #visits(v) / R``; the
+  visit counts *are* the Neumann series ``Σ_t (αA)^t E`` sampled one
+  term per round.
+
+Both partial sums are elementwise **monotone non-decreasing** in the
+round number (counts only grow), a Monte-Carlo echo of Theorem 4.1.
+
+Accuracy contract (the "Chernoff-style" tolerance)
+--------------------------------------------------
+In terminate mode page ``v``'s count is a sum of ``n·R`` independent
+Bernoulli indicators (each walk terminates at ``v`` at most once), so
+``Var R̂(v) ≤ e·R(v)/R`` and, by Cauchy–Schwarz over pages,
+
+    E ‖R̂ − R‖₁ / ‖R‖₁  ≤  sqrt( n / (R · ‖R‖₁/e) ).
+
+Visit mode pays one extra factor ``sqrt(1+α)`` (a walk can revisit a
+page; the return chain is dominated by a geometric with ratio ≤ α).
+:func:`mc_error_tolerance` evaluates this bound times a safety
+factor; since every count is a sum of independent bounded terms the
+deviation above the mean decays exponentially (Chernoff), so a small
+safety factor makes the bound a robust CI gate.  The key scaling —
+relative L1 error ``∝ 1/sqrt(walks_per_page)`` — is what the tests
+assert.  Note what the bound says about the method: full-vector L1
+accuracy is *expensive* (1% error wants ~10⁴ walks/page); the
+random-walk engine's economy is rounds and per-round bytes, not
+precision.  See docs/ALGORITHMS.md for the comparison table.
+
+Everything here is vectorized bulk-synchronous state: one int64
+position array over the alive tokens, batched CSR out-link sampling
+(``floor(u · d)`` into ``indptr``), and ``bincount`` accumulation, so
+1e5–1e6-page ensembles run in the flat-engine style with no per-token
+Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graph.webgraph import WebGraph
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "RandomWalkState",
+    "MonteCarloResult",
+    "montecarlo_pagerank",
+    "mc_error_tolerance",
+]
+
+WALK_MODES = ("terminate", "visit")
+DANGLING_MODES = ("absorb", "jump")
+
+
+class RandomWalkState:
+    """Vectorized synchronous random-walk ensemble over one graph.
+
+    Holds the alive-token position array and the per-page counts; each
+    :meth:`step` advances every alive token by one round and reports
+    which tokens moved where (the cut-crossing information the
+    distributed engine turns into messages).
+
+    Parameters
+    ----------
+    graph:
+        The crawl.  Only the CSR arrays and out-degrees are read.
+    alpha:
+        Damping factor; tokens terminate with probability ``1−α``.
+    walks_per_page:
+        Tokens launched per page (the estimator's ``R``).
+    walk_mode:
+        ``"terminate"`` credits a page when a token terminates there;
+        ``"visit"`` credits every round a token spends there (scaled
+        by ``1−α`` in :meth:`estimate`).
+    dangling:
+        ``"absorb"`` (open-system, default) or ``"jump"`` — see the
+        module docstring.
+    start_weight:
+        Scalar ``E(v)`` all walks carry (the paper's ``E``; vector
+        ``E`` would need per-token weights and is not supported).
+    rng:
+        Seed or :class:`numpy.random.Generator`.  All draws — one
+        termination uniform and one link uniform per alive token per
+        round, plus jump targets under ``dangling="jump"`` — come from
+        this single stream in a fixed order, so equal seeds give
+        bit-identical counts, positions, and crossing reports.
+    """
+
+    def __init__(
+        self,
+        graph: WebGraph,
+        *,
+        alpha: float = 0.85,
+        walks_per_page: int = 16,
+        walk_mode: str = "terminate",
+        dangling: str = "absorb",
+        start_weight: float = 1.0,
+        rng: RngLike = 0,
+    ):
+        check_fraction(alpha, "alpha")
+        if walks_per_page < 1:
+            raise ValueError("walks_per_page must be >= 1")
+        if walk_mode not in WALK_MODES:
+            raise ValueError(f"walk_mode must be one of {WALK_MODES}")
+        if dangling not in DANGLING_MODES:
+            raise ValueError(f"dangling must be one of {DANGLING_MODES}")
+        if start_weight < 0:
+            raise ValueError("start_weight must be non-negative")
+        self.n_pages = graph.n_pages
+        self.alpha = float(alpha)
+        self.walks_per_page = int(walks_per_page)
+        self.walk_mode = walk_mode
+        self.dangling = dangling
+        self.start_weight = float(start_weight)
+        self._rng = as_generator(rng)
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+        self._internal_deg = np.diff(graph.indptr)
+        self._total_deg = self._internal_deg + graph.external_out
+        #: Integer counts — exact, so two equal-seed runs agree bit
+        #: for bit and the estimate is a deterministic function of them.
+        self._counts = np.zeros(self.n_pages, dtype=np.int64)
+        self._pos = np.repeat(
+            np.arange(self.n_pages, dtype=np.int64), self.walks_per_page
+        )
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pos(self) -> np.ndarray:
+        """Positions of the alive tokens (valid until the next step)."""
+        return self._pos
+
+    @property
+    def alive(self) -> int:
+        """Number of tokens still walking."""
+        return int(self._pos.size)
+
+    @property
+    def walks_launched(self) -> int:
+        """Total tokens started (``n_pages · walks_per_page``)."""
+        return self.n_pages * self.walks_per_page
+
+    @property
+    def estimate_factor(self) -> float:
+        """Scalar mapping raw counts to rank units (see module docs)."""
+        factor = self.start_weight / self.walks_per_page
+        if self.walk_mode == "visit":
+            factor *= 1.0 - self.alpha
+        return factor
+
+    def estimate(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Current rank estimate (monotone non-decreasing per round)."""
+        if out is None:
+            out = np.empty(self.n_pages, dtype=np.float64)
+        np.multiply(self._counts, self.estimate_factor, out=out)
+        return out
+
+    # ------------------------------------------------------------------
+    def step(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance every alive token by one synchronous round.
+
+        Returns ``(src, dst, counted)``: the old and new positions of
+        tokens that survived the round *and stayed inside the crawl*
+        (the candidates for cut-crossing messages; under
+        ``dangling="jump"`` restarted tokens appear here too, since a
+        ranker must forward a restarted token to its random target),
+        and the positions credited to the estimator this round (the
+        per-round count increment, for convergence deltas).
+        """
+        pos = self._pos
+        m = pos.size
+        rng = self._rng
+        if self.walk_mode == "visit":
+            counted = pos
+            if m:
+                self._counts += np.bincount(pos, minlength=self.n_pages)
+        # Draw 1: termination.  beta = 1 - alpha per visit, always.
+        term = rng.random(m) < (1.0 - self.alpha)
+        if self.walk_mode == "terminate":
+            counted = pos[term]
+            if counted.size:
+                self._counts += np.bincount(counted, minlength=self.n_pages)
+        movers = pos[~term]
+        # Draw 2: one uniform out-link per surviving token, batched as
+        # floor(u · d) over the *total* degree — indices < internal
+        # degree name a CSR column, the rest are external links (the
+        # walk leaves the crawl).  The min-clamp guards the half-ulp
+        # case where u·d rounds up to d.
+        d = self._total_deg[movers]
+        link = (rng.random(movers.size) * d).astype(np.int64)
+        np.minimum(link, np.maximum(d - 1, 0), out=link)
+        internal = (d > 0) & (link < self._internal_deg[movers])
+        src = movers[internal]
+        dst = self._indices[self._indptr[src] + link[internal]]
+        if self.dangling == "jump" and self.n_pages:
+            dangling = self._total_deg[movers] == 0
+            n_jump = int(np.count_nonzero(dangling))
+            if n_jump:
+                jump_dst = rng.integers(
+                    0, self.n_pages, n_jump, dtype=np.int64
+                )
+                src = np.concatenate([src, movers[dangling]])
+                dst = np.concatenate([dst, jump_dst])
+        self._pos = dst
+        self.rounds += 1
+        return src, dst, counted
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of a centralized (single-machine) Monte-Carlo solve.
+
+    Attributes
+    ----------
+    ranks:
+        The rank estimate.
+    rounds:
+        Synchronous rounds until every token died (or ``max_rounds``).
+    walks:
+        Tokens launched.
+    exhausted:
+        True when all tokens terminated within the round budget (the
+        estimate is final; more rounds cannot change it).
+    """
+
+    ranks: np.ndarray
+    rounds: int
+    walks: int
+    exhausted: bool
+
+    @property
+    def mean_rank(self) -> float:
+        return float(self.ranks.mean()) if self.ranks.size else 0.0
+
+
+def montecarlo_pagerank(
+    graph: WebGraph,
+    *,
+    alpha: float = 0.85,
+    walks_per_page: int = 16,
+    walk_mode: str = "terminate",
+    dangling: str = "absorb",
+    e: Union[float, None] = None,
+    rng: RngLike = 0,
+    max_rounds: int = 100_000,
+) -> MonteCarloResult:
+    """Run the walk ensemble to exhaustion on one machine.
+
+    The centralized counterpart of the distributed ``mc`` engine —
+    same kernel, same RNG stream, no partition or traffic — used by
+    tests and as the quickest way to get a statistical rank estimate.
+    ``e`` is the scalar rank source (default 1, the paper's ``E``).
+    """
+    state = RandomWalkState(
+        graph,
+        alpha=alpha,
+        walks_per_page=walks_per_page,
+        walk_mode=walk_mode,
+        dangling=dangling,
+        start_weight=1.0 if e is None else float(e),
+        rng=rng,
+    )
+    while state.alive and state.rounds < max_rounds:
+        state.step()
+    return MonteCarloResult(
+        ranks=state.estimate(),
+        rounds=state.rounds,
+        walks=state.walks_launched,
+        exhausted=state.alive == 0,
+    )
+
+
+def mc_error_tolerance(
+    reference: np.ndarray,
+    walks_per_page: int,
+    *,
+    alpha: float = 0.85,
+    walk_mode: str = "terminate",
+    safety: float = 2.0,
+) -> float:
+    """Documented relative-L1 accuracy bound for the configured ``R``.
+
+    Evaluates the variance bound of the module docstring —
+    ``sqrt(n / (R · ‖R*‖₁/e))`` with ``e`` absorbed by using the
+    reference's own mass, times ``sqrt(1+α)`` in visit mode, times
+    ``safety``.  The expectation bound plus Chernoff concentration of
+    the independent per-walk contributions makes ``safety=2`` a
+    reliable CI gate; this is the tolerance ``BENCH_mc.json`` gates
+    the measured error against.
+    """
+    if walks_per_page < 1:
+        raise ValueError("walks_per_page must be >= 1")
+    if walk_mode not in WALK_MODES:
+        raise ValueError(f"walk_mode must be one of {WALK_MODES}")
+    ref = np.asarray(reference, dtype=np.float64)
+    mass = float(np.abs(ref).sum())
+    if ref.size == 0 or mass == 0.0:
+        return 0.0
+    bound = float(np.sqrt(ref.size / (walks_per_page * mass)))
+    if walk_mode == "visit":
+        bound *= float(np.sqrt(1.0 + alpha))
+    return safety * bound

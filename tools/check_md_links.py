@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fail CI when a Markdown file contains a broken relative link.
+
+Scans every ``*.md`` under the repo root (skipping ``.git``, caches,
+and virtualenvs) for inline links and images, keeps the ones that
+point at local paths (not ``http(s)://``, ``mailto:``, or pure
+``#anchor`` fragments), resolves each against the file that contains
+it, and reports every target that does not exist on disk.
+
+Usage::
+
+    python tools/check_md_links.py [root]
+
+Exit status 0 when every relative link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown link or image: [text](target) / ![alt](target).
+#: Deliberately simple — the repo's docs do not use reference-style
+#: links or angle-bracket destinations.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes and pseudo-targets that are not local paths.
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directory names never scanned.
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".venv", "node_modules",
+             ".artifact-cache"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path):
+    """Yield (line_number, target) for every broken link in one file."""
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            # Drop an anchor suffix; the file is what must exist.
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = (path.parent / local).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                yield lineno, target  # escapes the repo -> broken
+                continue
+            if not resolved.exists():
+                yield lineno, target
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    broken = []
+    n_files = 0
+    for path in iter_markdown(root):
+        n_files += 1
+        for lineno, target in check_file(path, root):
+            broken.append((path.relative_to(root), lineno, target))
+    if broken:
+        print(f"{len(broken)} broken relative link(s):")
+        for rel, lineno, target in broken:
+            print(f"  {rel}:{lineno}: {target}")
+        return 1
+    print(f"ok: {n_files} markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
