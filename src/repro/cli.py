@@ -15,6 +15,8 @@ Usage::
     python -m repro engines [--pages N] [--groups K] [--target EPS]
                             [--engines dpr1,dpr2-event,flat,mc]
                             [--walks-per-page R]
+    python -m repro chaos   [--pages N] [--groups K] [--target EPS]
+                            [--engines event,hybrid]
 
 Every subcommand prints the same text tables the benches save, so a
 user can regenerate any paper artifact without touching pytest.
@@ -93,12 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine(p):
         p.add_argument(
-            "--engine", choices=["event", "flat", "mc"], default="event",
+            "--engine", choices=["event", "flat", "hybrid", "mc"],
+            default="event",
             help="execution engine: per-message event simulation (event), "
             "vectorized bulk-synchronous rounds (flat; much faster at "
-            "scale), or the Monte-Carlo random-walk estimator (mc; "
-            "statistical accuracy, O(log n) rounds).  flat and mc "
-            "require --schedule sync and sample once per round",
+            "scale), the fault-tolerant fast path (hybrid; flat-speed "
+            "rounds over a persistent fault plane — flat requests with "
+            "fault knobs or --schedule async dispatch here "
+            "automatically), or the Monte-Carlo random-walk estimator "
+            "(mc; statistical accuracy, O(log n) rounds).  flat, hybrid "
+            "and mc sample once per round; flat and mc require "
+            "--schedule sync",
         )
         p.add_argument(
             "--schedule", choices=["async", "sync"], default="async",
@@ -323,6 +330,42 @@ def build_parser() -> argparse.ArgumentParser:
         "set, else no caching); cached tables reproduce byte-identically",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos bake-off: the EXPERIMENTS.md churn scenario on the "
+        "event engine vs the hybrid fault-tolerant fast path — same ε "
+        "verdict, fault counters, and wall-clock speedup",
+    )
+    add_workload(p_chaos)
+    p_chaos.add_argument("--groups", type=_positive_int, default=8,
+                         help="ranker count K")
+    p_chaos.add_argument(
+        "--engines",
+        type=lambda s: [x for x in s.split(",") if x],
+        default=None,
+        help="comma-separated engine names (default: event,hybrid)",
+    )
+    p_chaos.add_argument(
+        "--target", type=_positive_float, default=1e-4,
+        help="relative-error target ε for the verdict column",
+    )
+    p_chaos.add_argument(
+        "--max-time", type=_positive_float, default=405.0,
+        help="simulated-time budget per run (default: 40 rounds of "
+        "the scenario's T=10 period plus a drain margin)",
+    )
+    p_chaos.add_argument(
+        "--graph", default=None,
+        help="load this saved webgraph (directory → memory-mapped, "
+        "*.npz → in-memory) instead of generating one; --pages/--sites "
+        "are ignored",
+    )
+    p_chaos.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR if "
+        "set, else no caching); cached tables reproduce byte-identically",
+    )
+
     p_all = sub.add_parser("all", help="run the full reproduction suite")
     add_workload(p_all)
     p_all.add_argument(
@@ -453,6 +496,12 @@ def cmd_run(args) -> int:
         ("bytes", result.traffic.total_bytes),
         ("updates dropped", result.dropped_updates),
     ]
+    if result.fidelity != "exact" or args.engine == "hybrid":
+        rows += [
+            ("fidelity", result.fidelity),
+            ("fast rounds", result.fast_rounds),
+            ("replayed rounds", result.replayed_rounds),
+        ]
     if args.reliable:
         rows += [
             ("ack messages", result.traffic.ack_messages),
@@ -568,6 +617,34 @@ def cmd_engines(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the chaos bake-off and print its table."""
+    import contextlib
+
+    from repro.experiments import CHAOS_ENGINES, run_chaos_bakeoff
+    from repro.parallel.cache import ArtifactCache, activate, cache_from_env
+
+    if args.graph is not None:
+        from repro.graph.io import load_webgraph
+
+        graph = load_webgraph(args.graph, mmap=not str(args.graph).endswith(".npz"))
+    else:
+        graph = _make_graph(args)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    ctx = activate(cache) if cache is not None else contextlib.nullcontext()
+    with ctx:
+        result = run_chaos_bakeoff(
+            graph,
+            n_groups=args.groups,
+            engines=args.engines or CHAOS_ENGINES,
+            seed=args.seed,
+            target_relative_error=args.target,
+            max_time=args.max_time,
+        )
+    print(result.format())
+    return 0 if result.verdicts_agree() else 1
+
+
 def cmd_all(args) -> int:
     """Run every experiment and print/write the combined report."""
     from repro.experiments import ExperimentScale, run_all
@@ -596,6 +673,7 @@ COMMANDS = {
     "graphgen": cmd_graphgen,
     "partitions": cmd_partitions,
     "engines": cmd_engines,
+    "chaos": cmd_chaos,
     "all": cmd_all,
 }
 

@@ -13,11 +13,15 @@ probability ``p``, and the 0.01% relative-error threshold of Fig 8.
 
 from __future__ import annotations
 
+import math
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.capabilities import ENGINES, resolve_engine, validate_config
 from repro.core.convergence import ConvergenceTrace, Monitor
 from repro.core.dpr import DPRNode
 from repro.core.open_system import GroupSystem
@@ -70,11 +74,18 @@ class DistributedConfig:
     #: whole-system block SpMVs with analytically accounted traffic
     #: (see :mod:`repro.core.engine`).  Under the synchronous schedule
     #: the two produce bit-identical ranks and identical traffic.
+    #: "hybrid" keeps the flat kernels but runs the fault-tolerance
+    #: stack (ARQ, churn, heartbeat, checkpoint/recovery) and the
+    #: async schedule on a persistent event-simulated fault plane
+    #: (see :mod:`repro.core.hybrid`); a "flat" request that needs
+    #: those features resolves to "hybrid" automatically
+    #: (:func:`repro.core.capabilities.resolve_engine`).
     #: "mc" replaces the Jacobi iteration entirely with the seeded
     #: Monte-Carlo random-walk estimator (Das Sarma et al.; see
     #: :mod:`repro.linalg.montecarlo`): statistically-toleranced
     #: ranks in O(log n) rounds, with cut-crossing walk tokens as the
-    #: per-round messages.
+    #: per-round messages.  Per-engine capabilities live in the
+    #: :mod:`repro.core.capabilities` registry.
     engine: str = "event"
     #: Wake scheduling of the *event* engine: "async" draws
     #: exponential waits (the paper's timing model); "sync" makes
@@ -172,8 +183,11 @@ class DistributedConfig:
             raise ValueError("n_groups must be >= 1")
         if self.algorithm not in ("dpr1", "dpr2"):
             raise ValueError("algorithm must be 'dpr1' or 'dpr2'")
-        if self.engine not in ("event", "flat", "mc"):
-            raise ValueError("engine must be 'event', 'flat', or 'mc'")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {tuple(sorted(ENGINES))}, "
+                f"got {self.engine!r}"
+            )
         if self.schedule not in ("async", "sync"):
             raise ValueError("schedule must be 'async' or 'sync'")
         if self.x_mode not in ("exact", "delta"):
@@ -205,55 +219,52 @@ class DistributedConfig:
                 "the sync schedule derives one common wait from (t1+t2)/2; "
                 "explicit mean_waits are only meaningful under schedule='async'"
             )
+        # Default-on fast-path dispatch: a "flat" request whose config
+        # needs faults or the async schedule resolves to the hybrid
+        # engine (which runs those features on a persistent fault
+        # plane) before any capability validation happens.
+        self.engine = resolve_engine(self)
         period = max(0.5 * (self.t1 + self.t2), MIN_MEAN_WAIT)
+        profile = ENGINES[self.engine]
         if self.sample_interval is None:
-            self.sample_interval = period if self.engine in ("flat", "mc") else 1.0
+            self.sample_interval = (
+                period if profile.round_boundary_sampling else 1.0
+            )
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be > 0")
-        if self.engine in ("flat", "mc"):
-            if self.schedule != "sync":
-                raise ValueError(
-                    f"engine={self.engine!r} implements the synchronous "
-                    "schedule; pass schedule='sync' (the event engine "
-                    "simulates schedule='async')"
-                )
+        if profile.round_boundary_sampling:
             ratio = self.sample_interval / period
             if ratio < 1.0 or not float(ratio).is_integer():
-                raise ValueError(
-                    f"engine={self.engine!r} samples at round boundaries: "
-                    "sample_interval must be a whole multiple of the "
-                    f"synchronous period {period!r} (got "
-                    f"{self.sample_interval!r}); pass "
-                    "sample_interval=None to use the period itself"
-                )
-        if self.engine in ("flat", "mc"):
-            checks = [
-                ("reliable", self.reliable),
-                ("suppress_tol", self.suppress_tol > 0.0),
-                ("pause_faults", self.pause_faults > 0),
-                ("crash_prob", self.crash_prob > 0.0),
-                ("heartbeat_interval", self.heartbeat_interval > 0.0),
-                ("checkpoint_interval", self.checkpoint_interval > 0.0),
-                ("recovery", self.recovery),
-                ("x_mode='delta'", self.x_mode == "delta"),
-            ]
-            if self.engine == "mc":
-                # Walk tokens are not idempotent rank vectors: a lost
-                # token silently biases the estimator, and a vector E
-                # would need per-token start weights.  Both stay out
-                # until someone needs them.
-                checks += [
-                    ("delivery_prob < 1", self.delivery_prob < 1.0),
-                    ("vector-valued e", isinstance(self.e, np.ndarray)),
-                ]
-            unsupported = [name for name, active in checks if active]
-            if unsupported:
-                raise ValueError(
-                    f"engine={self.engine!r} runs failure-free "
-                    "bulk-synchronous rounds "
-                    f"and does not support: {', '.join(unsupported)}; "
-                    "use the event engine for those features"
-                )
+                if os.environ.get("REPRO_STRICT_SAMPLING", "1") == "0":
+                    # Permissive mode: round the cadence up to the
+                    # next round boundary instead of refusing to run.
+                    rounded = max(1, math.ceil(ratio - 1e-12)) * period
+                    warnings.warn(
+                        f"engine={self.engine!r} samples at round "
+                        f"boundaries: rounding sample_interval "
+                        f"{self.sample_interval!r} up to {rounded!r} "
+                        f"(the next multiple of the synchronous "
+                        f"period {period!r}); set "
+                        "REPRO_STRICT_SAMPLING=1 to make this an "
+                        "error",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self.sample_interval = float(rounded)
+                else:
+                    raise ValueError(
+                        f"engine={self.engine!r} samples at round "
+                        "boundaries: sample_interval must be a whole "
+                        "multiple of the synchronous period "
+                        f"{period!r} (got {self.sample_interval!r}); "
+                        "pass sample_interval=None to use the period "
+                        "itself, or set REPRO_STRICT_SAMPLING=0 to "
+                        "round up with a warning"
+                    )
+        # Engine capability validation is table-driven; rejection
+        # messages name the engines that do support each feature
+        # (see repro.core.capabilities).
+        validate_config(self)
         # Reliability / fault-tolerance knobs.
         check_non_negative(self.retry_timeout, "retry_timeout")
         if self.retry_timeout <= 0:
@@ -329,6 +340,19 @@ class RunResult:
         Fault/recovery counters: permanent crashes injected, heartbeat
         death declarations, checkpoint-restored takeovers performed,
         and checkpoints written.
+    fidelity:
+        The engine's accuracy contract for *this* run: ``"exact"``
+        (bit-identical to the event engine on the same config) or
+        ``"approximate"`` (documented-tolerance equivalence — compare
+        ``final_relative_error`` against the tolerance in DESIGN.md
+        §13).  The hybrid engine reports ``"exact"`` when the config
+        let it run the pure flat path and ``"approximate"`` when the
+        fault plane or async schedule was engaged.
+    fast_rounds, replayed_rounds:
+        Hybrid round-split counters: rounds executed purely as flat
+        sparse kernels vs. rounds whose messaging was replayed through
+        the persistent event-simulated fault plane.  Both zero for the
+        other engines.
     """
 
     ranks: np.ndarray
@@ -351,6 +375,9 @@ class RunResult:
     deaths_detected: int = 0
     takeovers: int = 0
     checkpoint_saves: int = 0
+    fidelity: str = "exact"
+    fast_rounds: int = 0
+    replayed_rounds: int = 0
     config: DistributedConfig = field(repr=False, default=None)  # type: ignore[assignment]
 
     @property
@@ -381,6 +408,7 @@ def assemble_run_result(
     config: DistributedConfig,
     quiescent: bool = False,
     quiescence_time: Optional[float] = None,
+    fidelity: str = "exact",
     **counters: int,
 ) -> RunResult:
     """Build a :class:`RunResult` from one finished run's pieces.
@@ -406,6 +434,7 @@ def assemble_run_result(
         dropped_updates=dropped_updates,
         quiescent=quiescent,
         quiescence_time=quiescence_time,
+        fidelity=fidelity,
         config=config,
         **counters,
     )
@@ -679,7 +708,7 @@ class DistributedRun:
             # Recovered groups hold a live replacement, so count fired
             # injector crashes rather than currently-crashed slots.
             crashed_groups=(
-                sum(1 for (_, t) in self.crash_injector.injected if t <= self.sim.now)
+                self.crash_injector.fired(self.sim.now)
                 if self.crash_injector is not None
                 else sum(1 for rk in self.rankers if rk.crashed)
             ),
@@ -720,11 +749,16 @@ def run_distributed_pagerank(
         from dataclasses import replace
 
         config = replace(config, **config_overrides)
-    if config.engine in ("flat", "mc"):
-        # Imported lazily: the engine module imports coordinator types.
+    if config.engine in ("flat", "mc", "hybrid"):
+        # Imported lazily: the engine modules import coordinator types.
         from repro.core.engine import MonteCarloEngine, SynchronousEngine
 
-        cls = SynchronousEngine if config.engine == "flat" else MonteCarloEngine
+        if config.engine == "hybrid":
+            from repro.core.hybrid import HybridEngine
+
+            cls = HybridEngine
+        else:
+            cls = SynchronousEngine if config.engine == "flat" else MonteCarloEngine
         return cls(
             graph, config, partition=partition, reference=reference
         ).run(

@@ -633,6 +633,39 @@ class SynchronousEngine:
         self._communicate()
 
     # ------------------------------------------------------------------
+    # Subclass hooks (the hybrid engine overrides these; see
+    # repro.core.hybrid).  The base implementations reproduce the
+    # flat engine's historical behaviour exactly.
+    # ------------------------------------------------------------------
+    def _pre_sample(self, t: float) -> None:
+        """Called at the top of every sample, before state is read."""
+
+    def _finish(self, t: float) -> None:
+        """Called once after the run loop, before result assembly."""
+
+    def _outer_progress(self) -> Tuple[int, float]:
+        """(max, mean) outer-iteration progress for the trace."""
+        return self._rounds, float(self._rounds)
+
+    def _outer_vector(self) -> np.ndarray:
+        """Per-group outer iteration counts for the result."""
+        return np.full(self.config.n_groups, self._rounds, dtype=np.int64)
+
+    def _quiescent_now(self, quiescence_delta: float) -> bool:
+        """One sample's quiescence verdict (streak logic is the caller's)."""
+        return self._rounds > 0 and bool(
+            (self._last_delta <= quiescence_delta).all()
+        )
+
+    def _dropped_total(self) -> int:
+        """Loss-model drops to report (transports may hold the counter)."""
+        return self.dropped_updates
+
+    def _extra_result_fields(self, now: float) -> Dict:
+        """Engine-specific RunResult fields (fidelity, fault counters)."""
+        return {}
+
+    # ------------------------------------------------------------------
     def run(
         self,
         *,
@@ -682,6 +715,7 @@ class SynchronousEngine:
 
         def sample(t: float) -> None:
             nonlocal converged, target_time, quiescent, quiescence_time, quiet_streak
+            self._pre_sample(t)
             ranks = self.assemble_ranks(out=ranks_buf)
             mean_rank = float(ranks.mean()) if ranks.size else 0.0
             np.subtract(ranks, self.reference, out=ranks)
@@ -694,8 +728,9 @@ class SynchronousEngine:
             trace.times.append(t)
             trace.relative_errors.append(err)
             trace.mean_ranks.append(mean_rank)
-            trace.max_outer_iterations.append(self._rounds)
-            trace.mean_outer_iterations.append(float(self._rounds))
+            max_outer, mean_outer = self._outer_progress()
+            trace.max_outer_iterations.append(max_outer)
+            trace.mean_outer_iterations.append(mean_outer)
             snap = self.accountant.snapshot(t)
             trace.total_messages.append(snap.total_messages)
             trace.total_bytes.append(snap.total_bytes)
@@ -707,9 +742,7 @@ class SynchronousEngine:
                 converged = True
                 target_time = t
             if quiescence_delta is not None and not quiescent:
-                quiet = self._rounds > 0 and bool(
-                    (self._last_delta <= quiescence_delta).all()
-                )
+                quiet = self._quiescent_now(quiescence_delta)
                 quiet_streak = quiet_streak + 1 if quiet else 0
                 if quiet_streak >= quiescence_samples:
                     quiescent = True
@@ -743,6 +776,7 @@ class SynchronousEngine:
                     break
             self._round()
 
+        self._finish(t)
         return assemble_run_result(
             # The sample buffer is dead after the loop, so the final
             # assembly fills it and hands it to the result outright.
@@ -751,14 +785,15 @@ class SynchronousEngine:
             trace=trace,
             converged=converged,
             time_to_target=target_time,
-            outer_iterations=np.full(cfg.n_groups, self._rounds, dtype=np.int64),
+            outer_iterations=self._outer_vector(),
             inner_sweeps=self._inner_sweeps.copy(),
             accountant=self.accountant,
             now=t,
-            dropped_updates=self.dropped_updates,
+            dropped_updates=self._dropped_total(),
             quiescent=quiescent,
             quiescence_time=quiescence_time,
             config=cfg,
+            **self._extra_result_fields(t),
         )
 
 

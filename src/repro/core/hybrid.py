@@ -1,0 +1,906 @@
+"""Hybrid flat/event execution engine — the fault-tolerant fast path.
+
+The flat engine (:class:`~repro.core.engine.SynchronousEngine`) runs a
+bulk-synchronous round as three sparse kernels but is failure-free;
+the event engine (:class:`~repro.core.coordinator.DistributedRun`)
+simulates every fault subsystem but pays one Python event per message.
+:class:`HybridEngine` combines them: **compute stays flat** (the same
+per-group Jacobi/DPR2 kernels over one concatenated rank vector) while
+**messaging and faults run on a persistent event-simulated "fault
+plane"** — a real :class:`~repro.net.simulator.Simulator` carrying the
+real transport stack (:func:`~repro.net.transport.build_transport`,
+optionally wrapped in :class:`~repro.net.reliable.ReliableTransport`),
+the crash/pause injectors, the heartbeat detector, and the
+checkpoint/recovery layer, all driven over lightweight *shadow
+rankers* that bridge the flat engine's state slices.
+
+Execution model (one round at tick ``t``):
+
+1. advance the fault plane to ``t`` — crashes, pauses, heartbeat
+   sweeps, checkpoints, takeovers, retransmissions, and in-flight
+   deliveries up to the tick all land exactly as the event engine
+   would interleave them (they share one timeline, so a crash firing
+   mid-delivery-window swallows exactly the deliveries the event
+   engine drops);
+2. step every *eligible* group (alive, unpaused, and — under the
+   async schedule — due per its rate credit) with the flat per-group
+   kernels, mirroring :meth:`repro.core.dpr.DPRNode.step` bit for bit;
+3. emit each stepping group's compressed cut segments as real
+   :class:`~repro.net.message.ScoreUpdate` payloads through the fault
+   plane's transport (byte accounting reads ``n_link_records``, so
+   compressed payloads cost exactly what dense ones do), where loss,
+   chaos, ARQ, and sequence numbering behave identically to the event
+   engine.
+
+When the config needs no fault plane and no approximation (sync
+schedule, no faults, no suppression) the engine *is* the flat engine:
+every round runs the inherited three-kernel path and the result is
+bit-identical to ``engine="flat"`` — and therefore to the event
+engine.  Rounds are counted either way (``fast_rounds`` vs
+``replayed_rounds`` in the :class:`~repro.core.coordinator.RunResult`).
+
+Equivalence contracts (verified by ``tests/test_hybrid.py``; see
+DESIGN.md §13 for the full argument):
+
+* **exact** — sync fault-free configs: bit-identical ranks, traffic,
+  and trace versus both the flat and event engines;
+* **approximate** — faulted or async configs: the run reports
+  ``fidelity="approximate"`` and reconverges to the same ε verdict as
+  the event engine.  The known divergence sources are all timing
+  artifacts, not state corruption: recovered replacements re-step on
+  the round grid instead of the event engine's off-grid wake chain,
+  async wake jitter is replaced by a per-group rate credit
+  (``period / mean_wait`` steps per round on average, at most one
+  step per round), and exact event-time ties (a retransmit timer
+  landing precisely on a wake) may order differently.
+
+Async approximation: each group accumulates ``period / mean_wait_g``
+of *credit* per round and steps when credit reaches 1 (consuming it);
+credit is capped at 1 so a paused or crashed group cannot bank a
+burst, and paused/crashed groups still consume due credit, matching
+the event engine's paused rankers burning their wake chain.  Mean
+waits come from ``config.mean_waits`` or the same named
+``"wait-means"`` stream the event engine draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.coordinator import DistributedConfig
+from repro.core.engine import SynchronousEngine, _replay_transport_round
+from repro.core.ranker import MIN_MEAN_WAIT
+from repro.core.recovery import Checkpointer, CheckpointStore, RecoveryManager
+from repro.graph.partition import Partition
+from repro.graph.webgraph import WebGraph
+from repro.linalg.jacobi import csr_matvec_into, jacobi_solve
+from repro.net.bandwidth import TrafficAccountant
+from repro.net.failures import (
+    ChaosModel,
+    NodeCrashInjector,
+    NodePauseInjector,
+    NoLoss,
+)
+from repro.net.heartbeat import HeartbeatMonitor
+from repro.net.latency import FixedLatency
+from repro.net.message import (
+    ACK_MESSAGE_BYTES,
+    LINK_RECORD_BYTES,
+    LOOKUP_MESSAGE_BYTES,
+    PACKAGE_HEADER_BYTES,
+    ScoreUpdate,
+)
+from repro.net.reliable import ReliableTransport, RetryPolicy
+from repro.net.simulator import Simulator
+from repro.net.transport import build_transport
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["HybridEngine"]
+
+
+class _ShadowNode:
+    """DPRNode-shaped view of one group's slice of the flat state.
+
+    Implements exactly the :class:`~repro.core.dpr.DPRNode`
+    ``state_dict``/``load_state_dict`` contract the checkpoint and
+    recovery layers consume, reading and writing the engine's global
+    arrays in place.  Snapshots keep afferent vectors in the engine's
+    *compressed* (nonzero-row) form — the format only has to round-trip
+    within the hybrid engine, and the compressed scatter re-sums to the
+    same bits as the dense refresh (see the flat engine's docstring).
+    """
+
+    __slots__ = ("engine", "group")
+
+    def __init__(self, engine: "HybridEngine", group: int):
+        self.engine = engine
+        self.group = group
+
+    @property
+    def outer_iterations(self) -> int:
+        return int(self.engine._outer[self.group])
+
+    @property
+    def inner_sweeps(self) -> int:
+        return int(self.engine._inner_sweeps[self.group])
+
+    def state_dict(self) -> dict:
+        eng, g = self.engine, self.group
+        return {
+            "group": g,
+            "mode": eng.config.algorithm,
+            "r": eng._r[eng._slices[g]].copy(),
+            "latest_values": {
+                src: vec.copy() for src, vec in eng._latest[g].items()
+            },
+            "latest_gen": dict(eng._gen_latest[g]),
+            "outer_iterations": int(eng._outer[g]),
+            "inner_sweeps": int(eng._inner_sweeps[g]),
+            "stale_updates": int(eng._stale[g]),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        eng, g = self.engine, self.group
+        np.copyto(eng._r[eng._slices[g]], state["r"])
+        eng._latest[g] = {
+            src: np.array(vec, dtype=np.float64)
+            for src, vec in state["latest_values"].items()
+        }
+        eng._gen_latest[g] = dict(state["latest_gen"])
+        eng._outer[g] = int(state["outer_iterations"])
+        eng._inner_sweeps[g] = int(state["inner_sweeps"])
+        eng._stale[g] = int(state["stale_updates"])
+        # Force an X refresh from the restored afferent vectors on the
+        # group's next step (DPRNode.load_state_dict marks X dirty).
+        eng._mail.add(g)
+
+
+class _ShadowRanker:
+    """PageRanker-shaped façade over one group for the fault plane.
+
+    Satisfies the duck-typed contract shared by the injectors
+    (writable ``paused``/``crashed``), the heartbeat monitor
+    (``crashed``), the checkpointer (``group``, ``node``), and the
+    recovery manager (``node``, ``start``).  It owns no wake chain —
+    the engine's round loop decides who steps — so ``start`` only
+    marks the shadow live.
+    """
+
+    __slots__ = ("node", "group", "paused", "crashed", "started")
+
+    def __init__(self, engine: "HybridEngine", group: int):
+        self.node = _ShadowNode(engine, group)
+        self.group = group
+        self.paused = False
+        self.crashed = False
+        self.started = False
+
+    def start(self, *, initial_delay: Optional[float] = None) -> None:
+        self.started = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_ShadowRanker(group={self.group}, paused={self.paused}, "
+            f"crashed={self.crashed})"
+        )
+
+
+class _ReplayARQ:
+    """Round-granular ARQ protocol replay for reliable+direct configs.
+
+    Running the reliable transport on the fault plane is *exact* but
+    pays one simulator event per transmission, retransmission, and ACK
+    — at 1e5-page churn that costs nearly as much as the full event
+    engine.  This replay collapses each logical message's whole ARQ
+    conversation (attempts, chaos duplicates, ACKs, ACK losses,
+    retransmissions, give-ups) into a tight loop at the *sending round*
+    instead of spreading it along the timeout/backoff timeline:
+
+    * every wire attempt re-rolls the origin loss model and is
+      accounted exactly as :class:`~repro.net.transport.DirectTransport`
+      would (per-send DHT lookup from a per-pair hop cache, one
+      end-to-end data message, one ACK per live delivery);
+    * chaos draws (duplicate, ACK-loss, reorder) come from the same
+      named streams the event engine seeds, so the replay is
+      deterministic — but consumed in round order rather than timer
+      order, which is the documented ε-level divergence of counters
+      like ``retransmits`` on faulted configs;
+    * sequence numbers advance one per logical message per (src, dst)
+      pair, identical to :class:`~repro.net.reliable.ReliableTransport`
+      numbering, and :meth:`window_state` reports the same shape for
+      the continuity tests.
+
+    Rank-state fidelity: with ARQ a payload reaches any *live*
+    destination with probability ``1 - p_fail^(1+max_retries)`` ≈ 1;
+    the replay applies it in the sending round, whereas the event
+    engine's retransmitted copies can spill past a round boundary.
+    DPR's staleness tolerance (Theorems 4.1/4.2) bounds the effect —
+    this is the same approximation class as the async rate credit.
+    """
+
+    def __init__(
+        self,
+        *,
+        loss,
+        chaos: ChaosModel,
+        retry: RetryPolicy,
+        accountant,
+        overlay,
+        jitter_rng,
+    ):
+        self.loss = loss
+        self.chaos = chaos
+        self.retry = retry
+        self.accountant = accountant
+        self.overlay = overlay
+        self._rng = jitter_rng
+        #: Deterministic per-pair hop counts (static overlay routes).
+        self._hops: Dict[Tuple[int, int], int] = {}
+        self._next_seq: Dict[Tuple[int, int], int] = {}
+        # Same counter names as ReliableTransport.stats().
+        self.retransmits = 0
+        self.gave_up = 0
+        self.dup_drops = 0
+        self.dead_drops = 0
+        self.acks_lost = 0
+        self.chaos_duplicates = 0
+        self.stale_acks = 0
+        #: Origin-loss drops across all attempts (inner-transport view).
+        self.dropped_updates = 0
+
+    def _hops_for(self, src: int, dst: int) -> int:
+        hops = self._hops.get((src, dst))
+        if hops is None:
+            hops = self.overlay.hops(src, dst)
+            self._hops[(src, dst)] = hops
+        return hops
+
+    def _transmission(
+        self, src: int, dst: int, payload_bytes: int, alive: bool,
+        delivered_before: bool,
+    ) -> Tuple[bool, bool]:
+        """One wire attempt; returns (delivered fresh, ACK got back)."""
+        if not self.loss.delivered(src, dst):
+            self.dropped_updates += 1
+            return False, False
+        acc = self.accountant
+        if src != dst:
+            acc.record_lookup(
+                src, self._hops_for(src, dst), LOOKUP_MESSAGE_BYTES
+            )
+        acc.record_data_message(src, dst, PACKAGE_HEADER_BYTES + payload_bytes)
+        if not alive:
+            self.dead_drops += 1
+            return False, False
+        fresh = not delivered_before
+        if not fresh:
+            self.dup_drops += 1
+        # ACK unconditionally (duplicates included), as the receiver does.
+        acc.record_ack(dst, src, ACK_MESSAGE_BYTES)
+        if self.chaos.active and self.chaos.ack_lost():
+            self.acks_lost += 1
+            return fresh, False
+        return fresh, True
+
+    def send(self, src: int, dst: int, payload_bytes: int, alive: bool) -> bool:
+        """Replay one logical message's full ARQ chain.
+
+        Returns True when the payload reached a live destination on any
+        attempt (at-least-once delivery with an idempotent receiver).
+        """
+        pair = (src, dst)
+        self._next_seq[pair] = self._next_seq.get(pair, 0) + 1
+        chaos = self.chaos
+        delivered = False
+        acked = False
+        attempts = 0
+        while True:
+            if chaos.active:
+                chaos.reorder_delay()  # timing-only draw (stream parity)
+            fresh, got_ack = self._transmission(
+                src, dst, payload_bytes, alive, delivered
+            )
+            delivered = delivered or fresh
+            acked = acked or got_ack
+            if chaos.active and chaos.duplicate():
+                self.chaos_duplicates += 1
+                fresh, got_ack = self._transmission(
+                    src, dst, payload_bytes, alive, delivered
+                )
+                delivered = delivered or fresh
+                acked = acked or got_ack
+            # The event engine arms an ACK timer per staged attempt.
+            self.retry.delay(attempts, self._rng)
+            if acked:
+                return delivered
+            if attempts >= self.retry.max_retries:
+                self.gave_up += 1
+                return delivered
+            attempts += 1
+            self.retransmits += 1
+
+    def window_state(self) -> Dict[Tuple[int, int], Dict[str, object]]:
+        """ReliableTransport-shaped window snapshot.
+
+        Every ARQ conversation resolves inside its sending round, so
+        ``pending`` is always empty; ``next_seq`` advances exactly as
+        the event engine's per-pair numbering.
+        """
+        return {
+            pair: {"next_seq": nxt, "pending": []}
+            for pair, nxt in self._next_seq.items()
+        }
+
+
+class HybridEngine(SynchronousEngine):
+    """Flat-kernel rounds over a persistent event-simulated fault plane.
+
+    Select with ``DistributedConfig(engine="hybrid")`` — or simply ask
+    for ``engine="flat"`` with fault knobs or ``schedule="async"``;
+    :func:`~repro.core.capabilities.resolve_engine` dispatches here
+    automatically.  Construction mirrors the flat engine (same
+    partition/overlay/loss from the same named seed streams), then
+    adds the fault plane only when the config needs it.
+    """
+
+    def __init__(
+        self,
+        graph: WebGraph,
+        config: DistributedConfig,
+        *,
+        partition: Optional[Partition] = None,
+        reference: Optional[np.ndarray] = None,
+    ):
+        super().__init__(
+            graph, config, partition=partition, reference=reference
+        )
+        cfg = config
+        k = cfg.n_groups
+
+        #: Fault-plane processes (injectors/heartbeat/checkpoint/recovery)
+        #: that need the persistent simulator regardless of data path.
+        self._plane = bool(
+            cfg.pause_faults > 0
+            or cfg.crash_prob > 0.0
+            or cfg.heartbeat_interval > 0.0
+            or cfg.checkpoint_interval > 0.0
+            or cfg.recovery
+        )
+        self._fault_world = bool(cfg.reliable or self._plane)
+        #: Reliable+direct data traffic runs the round-granular ARQ
+        #: replay (the fast path the chaos bench gates); reliable over
+        #: the indirect transport keeps full world-mode fidelity.
+        self._arq_mode = bool(cfg.reliable and cfg.transport == "direct")
+        self._async = cfg.schedule == "async"
+        self._approx = (
+            self._async or self._fault_world or cfg.suppress_tol > 0.0
+        )
+        #: Rounds run on the pure inherited flat path.
+        self._fast_rounds = 0
+        #: Rounds whose messaging went through the fault plane or the
+        #: transport replay (the approximate paths).
+        self._replayed_rounds = 0
+
+        self._fsim: Optional[Simulator] = None
+        self._transport = None
+        self._reliable: Optional[ReliableTransport] = None
+        self._arq: Optional[_ReplayARQ] = None
+        self._pause_injector: Optional[NodePauseInjector] = None
+        self._crash_injector: Optional[NodeCrashInjector] = None
+        self._heartbeat: Optional[HeartbeatMonitor] = None
+        self._checkpoint_store = CheckpointStore()
+        self._checkpointer: Optional[Checkpointer] = None
+        self._recovery: Optional[RecoveryManager] = None
+
+        if not self._approx:
+            # Pure flat path: the inherited engine runs every round and
+            # the result is bit-identical to engine="flat".
+            return
+
+        # A second factory over the same seed reproduces the event
+        # engine's named streams exactly ("wait-means", "chaos",
+        # "retry-jitter", injector streams); the streams the base
+        # constructor already consumed (partition/overlay/loss) are
+        # name-derived and independent, so nothing is double-drawn.
+        seeds = SeedSequenceFactory(cfg.seed)
+        self._seeds = seeds
+
+        # Per-group outer counters and afferent bookkeeping replace the
+        # flat engine's single round counter once groups step unevenly.
+        self._outer = np.zeros(k, dtype=np.int64)
+        self._gen_latest: List[Dict[int, int]] = [{} for _ in range(k)]
+        self._stale = np.zeros(k, dtype=np.int64)
+        self._dropped_while_crashed = 0
+        self._suppressed_sends = 0
+        self._last_sent: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Tick clock mirroring the run loop's float-add sequence.
+        self._clock = 0.0
+        #: Per-source emission pairs: (dst, compressed slice, records),
+        #: destinations ascending (the ranker emission order).
+        self._pairs_by_src: List[List[Tuple[int, slice, int]]] = [
+            [] for _ in range(k)
+        ]
+        for g, h, csl, _idx, records in self._pairs:
+            self._pairs_by_src[g].append((h, csl, records))
+        #: Calibration cache for the non-world approx path, keyed by
+        #: the round's surviving (src, dst) send set (lossless only —
+        #: under loss every round replays its own survivor set).
+        self._partial_cal: Dict[
+            Tuple, Tuple[List[Tuple[int, int]], TrafficAccountant]
+        ] = {}
+
+        # Async rate credits (sync runs at rate 1: every group steps
+        # each round unless paused/crashed).
+        sync_wait = 0.5 * (cfg.t1 + cfg.t2)
+        if not self._async:
+            waits = [sync_wait] * k
+        elif cfg.mean_waits is not None:
+            waits = [float(w) for w in cfg.mean_waits]
+        else:
+            wait_rng = seeds.generator("wait-means")
+            waits = [
+                float(wait_rng.uniform(cfg.t1, cfg.t2)) for _ in range(k)
+            ]
+        self._mean_waits = waits
+        self._rates = np.array(
+            [self.period / max(w, MIN_MEAN_WAIT) for w in waits],
+            dtype=np.float64,
+        )
+        self._credit = np.zeros(k, dtype=np.float64)
+
+        self._shadows: List[_ShadowRanker] = [
+            _ShadowRanker(self, g) for g in range(k)
+        ]
+
+        if not self._fault_world:
+            return
+
+        retry = RetryPolicy(
+            timeout=cfg.retry_timeout,
+            backoff=cfg.retry_backoff,
+            jitter=cfg.retry_jitter,
+            max_timeout=cfg.retry_max_timeout,
+            max_retries=cfg.max_retries,
+        ) if cfg.reliable else None
+        chaos = ChaosModel(
+            duplicate_prob=cfg.duplicate_prob,
+            reorder_prob=cfg.reorder_prob,
+            reorder_max_delay=cfg.reorder_max_delay,
+            ack_loss_prob=cfg.ack_loss_prob,
+            seed=seeds.generator("chaos"),
+        ) if cfg.reliable else None
+
+        if self._arq_mode:
+            # Reliable+direct: data traffic runs the round-granular ARQ
+            # replay; only the fault-plane *processes* (if any) need the
+            # persistent simulator.
+            self._arq = _ReplayARQ(
+                loss=self._loss,
+                chaos=chaos,
+                retry=retry,
+                accountant=self.accountant,
+                overlay=self.overlay,
+                jitter_rng=seeds.generator("retry-jitter"),
+            )
+            if not self._plane:
+                return
+            self._fsim = Simulator()
+        else:
+            # ---- the fault plane carries the real transport ----------
+            fsim = Simulator()
+            self._fsim = fsim
+            transport_kwargs = {}
+            if cfg.transport == "indirect":
+                transport_kwargs["aggregation_delay"] = cfg.aggregation_delay
+            # The inner transport reuses the base constructor's loss
+            # model instance, so the "loss" stream is consumed exactly
+            # once, per send attempt, in the same order as the event
+            # engine's stack.  It records into the *main* accountant at
+            # event-simulated send and delivery times — the same counter
+            # arithmetic as the event engine, ACK bytes included.
+            transport = build_transport(
+                cfg.transport,
+                fsim,
+                self.overlay,
+                self.accountant,
+                loss=self._loss,
+                latency=FixedLatency(cfg.hop_delay),
+                **transport_kwargs,
+            )
+            if cfg.reliable:
+                shadows = self._shadows
+                self._reliable = ReliableTransport(
+                    transport,
+                    retry=retry,
+                    chaos=chaos,
+                    alive=lambda g: not shadows[g].crashed,
+                    seed=seeds.generator("retry-jitter"),
+                )
+                transport = self._reliable
+            self._transport = transport
+            transport.attach(self._on_deliver)
+        fsim = self._fsim
+
+        if cfg.pause_faults > 0:
+            self._pause_injector = NodePauseInjector(
+                n_faults=cfg.pause_faults,
+                horizon=cfg.pause_horizon,
+                mean_outage=cfg.pause_mean_outage,
+                seed=seeds.generator("pause-injector"),
+            )
+            self._pause_injector.install(fsim, self._shadows)
+        if cfg.crash_prob > 0.0:
+            self._crash_injector = NodeCrashInjector(
+                crash_prob=cfg.crash_prob,
+                after=cfg.crash_after,
+                horizon=cfg.crash_horizon,
+                seed=seeds.generator("crash-injector"),
+            )
+            self._crash_injector.install(fsim, self._shadows)
+
+        if cfg.heartbeat_interval > 0.0:
+            self._heartbeat = HeartbeatMonitor(
+                fsim,
+                self._shadows,
+                interval=cfg.heartbeat_interval,
+                miss_threshold=cfg.heartbeat_miss_threshold,
+            )
+        if cfg.checkpoint_interval > 0.0:
+            self._checkpointer = Checkpointer(
+                fsim,
+                self._shadows,
+                self._checkpoint_store,
+                interval=cfg.checkpoint_interval,
+            )
+        if cfg.recovery:
+            self._recovery = RecoveryManager(
+                fsim,
+                self._shadows,
+                self._checkpoint_store,
+                self._make_replacement,
+            )
+            assert self._heartbeat is not None  # enforced by the config
+            self._heartbeat.add_death_callback(self._recovery.on_death)
+        # Started here (fsim.now == 0) rather than in run(): identical
+        # to the event engine starting them before its sim advances.
+        if self._heartbeat is not None:
+            self._heartbeat.start()
+        if self._checkpointer is not None:
+            self._checkpointer.start()
+
+    # ------------------------------------------------------------------
+    # Fault-plane callbacks
+    # ------------------------------------------------------------------
+    def _make_replacement(self, g: int, epoch: int) -> _ShadowRanker:
+        """Recovery factory: reset group ``g`` to blank-node state.
+
+        Mirrors the event engine's fresh :class:`DPRNode` (zero ranks,
+        empty afferent memory, zeroed counters); the recovery manager
+        restores the latest checkpoint on top, if one exists.
+        """
+        sl = self._slices[g]
+        self._r[sl] = 0.0
+        self._x[sl] = 0.0
+        self._latest[g] = {}
+        self._gen_latest[g] = {}
+        self._outer[g] = 0
+        self._inner_sweeps[g] = 0
+        self._stale[g] = 0
+        self._last_delta[g] = np.inf
+        self._credit[g] = 0.0
+        self._mail.discard(g)
+        if self.config.suppress_tol > 0.0:
+            # A fresh ranker has sent nothing yet.
+            for h, _csl, _records in self._pairs_by_src[g]:
+                self._last_sent.pop((g, h), None)
+        return _ShadowRanker(self, g)
+
+    def _apply_values(self, src: int, dst: int, values, generation: int) -> None:
+        """DPRNode.receive semantics over flat state (gen check, first-
+        arrival summation order, mail flag)."""
+        gens = self._gen_latest[dst]
+        prev_gen = gens.get(src)
+        if prev_gen is not None and generation <= prev_gen:
+            self._stale[dst] += 1
+            return
+        gens[src] = generation
+        held = self._latest[dst].get(src)
+        if held is None:
+            # First arrival fixes this source's position in the
+            # destination's re-summation order for good (dict order).
+            self._latest[dst][src] = np.array(values, dtype=np.float64)
+        else:
+            np.copyto(held, values)
+        self._mail.add(dst)
+
+    def _on_deliver(self, dst: int, update: ScoreUpdate) -> None:
+        """Transport upcall: DPRNode.receive semantics over flat state."""
+        shadow = self._shadows[dst]
+        if self._reliable is None and shadow.crashed:
+            # Plain transports deliver into the dead group's ranker,
+            # which drops on the floor (PageRanker.receive); the
+            # reliable wrapper's alive-oracle already dead-dropped.
+            self._dropped_while_crashed += 1
+            return
+        self._apply_values(
+            update.src_group, dst, update.values, update.generation
+        )
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def _stepping_groups(self) -> List[int]:
+        """Groups that step this round: due, alive, and unpaused."""
+        k = self.config.n_groups
+        if self._async:
+            np.add(self._credit, self._rates, out=self._credit)
+            due = self._credit >= 1.0
+            # Due groups consume their credit whether or not they are
+            # eligible — a paused event ranker burns its wakes too.
+            self._credit[due] -= 1.0
+            np.clip(self._credit, 0.0, 1.0, out=self._credit)
+        out: List[int] = []
+        for g in range(k):
+            if self._async and not due[g]:
+                continue
+            shadow = self._shadows[g]
+            if shadow.crashed or shadow.paused:
+                continue
+            out.append(g)
+        return out
+
+    def _compute_masked(self, stepping: List[int]) -> None:
+        """Step each eligible group exactly as DPRNode.step would."""
+        cfg = self.config
+        for g in stepping:
+            sl = self._slices[g]
+            if sl.stop == sl.start:
+                self._last_delta[g] = 0.0
+                self._outer[g] += 1
+                continue
+            if g in self._mail:
+                # Refresh X: re-sum the newest compressed afferent
+                # vectors in first-arrival order (same elementwise adds
+                # as DPRNode._refresh; skipped rows only ever add +0.0).
+                xh = self._x[sl]
+                xh[:] = 0.0
+                for src, vec in self._latest[g].items():
+                    xh[self._pair_idx[(src, g)]] += vec
+                self._mail.discard(g)
+            r_g = self._r[sl]
+            f_g = self._fbuf[: sl.stop - sl.start]
+            np.add(self._beta_e[sl], self._x[sl], out=f_g)
+            ws = self._workspaces[g]
+            if cfg.algorithm == "dpr2":
+                delta = ws.sweep_delta(
+                    self.system.diag(g), r_g, f_g, out=ws._ping
+                )
+                np.copyto(r_g, ws._ping)
+                self._last_delta[g] = float(delta)
+                self._inner_sweeps[g] += 1
+            else:
+                if cfg.inner_solver == "gauss_seidel":
+                    from repro.linalg.acceleration import gauss_seidel_solve
+
+                    res = gauss_seidel_solve(
+                        self.system.diag(g), f_g, x0=r_g,
+                        tol=cfg.local_tol, max_iter=cfg.max_inner,
+                    )
+                else:
+                    res = jacobi_solve(
+                        self.system.diag(g), f_g, x0=r_g,
+                        tol=cfg.local_tol, max_iter=cfg.max_inner,
+                        workspace=ws,
+                    )
+                self._inner_sweeps[g] += res.iterations
+                sc = ws._scratch
+                np.subtract(res.x, r_g, out=sc)
+                np.abs(sc, out=sc)
+                self._last_delta[g] = float(sc.sum())
+                np.copyto(r_g, res.x)
+            self._outer[g] += 1
+
+    def _emit_pairs(self, g: int) -> List[Tuple[int, slice, int]]:
+        """Group ``g``'s non-suppressed sends this round."""
+        cfg = self.config
+        out: List[Tuple[int, slice, int]] = []
+        for h, csl, records in self._pairs_by_src[g]:
+            seg = self._y[csl]
+            if cfg.suppress_tol > 0.0:
+                prev = self._last_sent.get((g, h))
+                if (
+                    prev is not None
+                    and float(np.abs(seg - prev).sum()) <= cfg.suppress_tol
+                ):
+                    # Compressed diff == dense diff: structurally-zero
+                    # rows are +0.0 on both sides.
+                    self._suppressed_sends += 1
+                    continue
+                self._last_sent[(g, h)] = seg.copy()
+            out.append((h, csl, records))
+        return out
+
+    def _emit_world(self, stepping: List[int], t: float) -> None:
+        """Send this round's updates through the fault plane."""
+        transport = self._transport
+        for g in stepping:
+            gen = int(self._outer[g])
+            updates = [
+                ScoreUpdate(
+                    src_group=g,
+                    dst_group=h,
+                    # Copied: self._y is reused next round, and the ARQ
+                    # layer must retransmit the *original* payload.
+                    values=self._y[csl].copy(),
+                    n_link_records=records,
+                    generation=gen,
+                    sent_at=t,
+                )
+                for h, csl, records in self._emit_pairs(g)
+            ]
+            if updates:
+                transport.send_updates(g, updates)
+
+    def _emit_arq(self, stepping: List[int]) -> None:
+        """Reliable+direct fast path: per-message ARQ protocol replay.
+
+        Payloads that reach a live destination apply in the sending
+        round (segments straight from ``self._y``, no per-message
+        copies — the chain resolves before the buffer is reused).
+        """
+        arq = self._arq
+        shadows = self._shadows
+        for g in stepping:
+            gen = int(self._outer[g])
+            for h, csl, records in self._emit_pairs(g):
+                alive = not shadows[h].crashed
+                payload = records * LINK_RECORD_BYTES
+                if arq.send(g, h, payload, alive):
+                    self._apply_values(g, h, self._y[csl], gen)
+
+    def _emit_replay(self, stepping: List[int]) -> None:
+        """Faultless approx path: loss draws + calibration-style replay.
+
+        Used when the round set is perturbed only by the async credit
+        mask and/or suppression: the surviving sends are replayed
+        through the real transport on a scratch simulator (exact
+        per-round traffic, merged via ``TrafficAccountant.merge``) and
+        the segments are applied in the observed delivery order.
+        """
+        sent: List[Tuple[int, int, int]] = []
+        for g in stepping:
+            for h, _csl, records in self._emit_pairs(g):
+                if not self._loss.delivered(g, h):
+                    self.dropped_updates += 1
+                    continue
+                sent.append((g, h, records))
+        lossless = isinstance(self._loss, NoLoss)
+        key = tuple((s[0], s[1]) for s in sent) if lossless else None
+        cached = self._partial_cal.get(key) if key is not None else None
+        if cached is None:
+            cached = _replay_transport_round(self.config, self.overlay, sent)
+            if key is not None:
+                self._partial_cal[key] = cached
+        order, acc = cached
+        self.accountant.merge(acc)
+        for src, dst in order:
+            seg = self._y[self._pair_cslice[(src, dst)]]
+            held = self._latest[dst].get(src)
+            if held is None:
+                self._latest[dst][src] = seg.copy()
+            else:
+                np.copyto(held, seg)
+            self._mail.add(dst)
+
+    def _round(self) -> None:
+        if not self._approx:
+            super()._round()
+            self._fast_rounds += 1
+            return
+        # Same float-add sequence as the run loop's tick clock, so the
+        # fault plane's "now" is bitwise the loop's t at every round.
+        self._clock += self.period
+        t = self._clock
+        if self._fsim is not None:
+            # Everything scheduled before this tick lands first:
+            # deliveries, crashes, pauses, heartbeats, checkpoints,
+            # takeovers, ACK timeouts — in event order.
+            self._fsim.run(until=t)
+        stepping = self._stepping_groups()
+        self._compute_masked(stepping)
+        csr_matvec_into(self._cut, self._r, self._y)
+        if self._arq is not None:
+            self._emit_arq(stepping)
+        elif self._fsim is not None:
+            self._emit_world(stepping, t)
+            # Zero-delay deliveries (hop_delay=0) land at t, exactly as
+            # the event simulator keeps draining same-time events.
+            self._fsim.run(until=t)
+        else:
+            self._emit_replay(stepping)
+        self._rounds += 1
+        self._replayed_rounds += 1
+
+    # ------------------------------------------------------------------
+    # Run-loop hooks (see SynchronousEngine)
+    # ------------------------------------------------------------------
+    def _pre_sample(self, t: float) -> None:
+        # The event engine's monitor samples after every event strictly
+        # before t has been processed; drain the fault plane so traffic
+        # snapshots and delivered state agree.  Idempotent with the
+        # round's own advance (Simulator.run(until=now) is a no-op).
+        if self._approx and self._fsim is not None:
+            self._fsim.run(until=t)
+
+    def _finish(self, t: float) -> None:
+        # Drain in-flight fault-plane work to the run's final time, as
+        # the event engine runs its one simulator to the stop time.
+        if self._approx and self._fsim is not None:
+            self._fsim.run(until=t)
+
+    def _outer_progress(self) -> Tuple[int, float]:
+        if not self._approx:
+            return super()._outer_progress()
+        if not self._outer.size:
+            return 0, 0.0
+        return int(self._outer.max()), float(self._outer.mean())
+
+    def _outer_vector(self) -> np.ndarray:
+        if not self._approx:
+            return super()._outer_vector()
+        return self._outer.copy()
+
+    def _quiescent_now(self, quiescence_delta: float) -> bool:
+        if not self._approx:
+            return super()._quiescent_now(quiescence_delta)
+        # The monitor's per-node rule: every group has stepped at least
+        # once and its last step delta is at or below the threshold.
+        return bool(
+            (self._outer > 0).all()
+            and (self._last_delta <= quiescence_delta).all()
+        )
+
+    def _dropped_total(self) -> int:
+        if self._transport is not None:
+            # World mode: origin loss fires inside the real transport.
+            return int(self._transport.dropped_updates)
+        if self._arq is not None:
+            # ARQ replay: origin loss re-rolls per wire attempt.
+            return self._arq.dropped_updates
+        return self.dropped_updates
+
+    def _extra_result_fields(self, now: float) -> Dict:
+        fields: Dict = {
+            "fidelity": "approximate" if self._approx else "exact",
+            "fast_rounds": self._fast_rounds,
+            "replayed_rounds": self._replayed_rounds,
+        }
+        rel = self._reliable if self._reliable is not None else self._arq
+        if rel is not None:
+            fields.update(
+                retransmits=rel.retransmits,
+                gave_up=rel.gave_up,
+                dup_drops=rel.dup_drops,
+                dead_drops=rel.dead_drops,
+                acks_lost=rel.acks_lost,
+            )
+        if self._fault_world:
+            fields["crashed_groups"] = (
+                self._crash_injector.fired(now)
+                if self._crash_injector is not None
+                else sum(1 for s in self._shadows if s.crashed)
+            )
+            fields["deaths_detected"] = (
+                self._heartbeat.deaths_detected
+                if self._heartbeat is not None
+                else 0
+            )
+            fields["takeovers"] = (
+                self._recovery.takeover_count
+                if self._recovery is not None
+                else 0
+            )
+            fields["checkpoint_saves"] = self._checkpoint_store.saves
+        return fields

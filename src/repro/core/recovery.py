@@ -28,20 +28,33 @@ improves.  Senders' in-flight retransmissions to the dead group are
 ACKed by the replacement (same group id, same sequence space is *not*
 assumed — the reliable transport dedups per seq, and a seq the dead
 ranker never ACKed is simply delivered to the replacement).
+
+The recovery layer is duck-typed over its "ranker" entries so the
+hybrid engine (:mod:`repro.core.hybrid`) can drive the *same*
+Checkpointer/RecoveryManager over lightweight shadow objects bridging
+the flat engine's state slices.  A ranker entry must expose:
+
+* ``.group`` — the group index it ranks;
+* ``.crashed`` — writable liveness flag the injectors/heartbeat read;
+* ``.node`` — an object with ``state_dict()``/``load_state_dict()``
+  (the :class:`~repro.core.dpr.DPRNode` contract);
+* ``.start()`` — begin (or for shadows, mark eligible for) work.
+
+:class:`~repro.core.ranker.PageRanker` is the canonical implementation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.ranker import PageRanker
 from repro.net.simulator import Simulator
 
 __all__ = ["CheckpointStore", "Checkpointer", "RecoveryManager"]
 
 #: Builds a fresh, state-restored-able ranker for ``group`` (epoch
-#: disambiguates the replacement's private random stream).
-RankerFactory = Callable[[int, int], PageRanker]
+#: disambiguates the replacement's private random stream).  Returns
+#: any object satisfying the duck-typed ranker contract above.
+RankerFactory = Callable[[int, int], "object"]
 
 
 class CheckpointStore:
@@ -76,7 +89,7 @@ class Checkpointer:
     def __init__(
         self,
         sim: Simulator,
-        rankers: List[PageRanker],
+        rankers: Sequence,
         store: CheckpointStore,
         *,
         interval: float,
@@ -131,7 +144,7 @@ class RecoveryManager:
     def __init__(
         self,
         sim: Simulator,
-        rankers: List[PageRanker],
+        rankers: List,
         store: CheckpointStore,
         factory: RankerFactory,
     ):

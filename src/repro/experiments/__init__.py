@@ -32,6 +32,11 @@ from repro.experiments.engines import (
     EngineBakeoffResult,
     run_engine_bakeoff,
 )
+from repro.experiments.chaos import (
+    CHAOS_ENGINES,
+    ChaosBakeoffResult,
+    run_chaos_bakeoff,
+)
 from repro.experiments.partitions import (
     BAKEOFF_STRATEGIES,
     PartitionBakeoffResult,
@@ -67,6 +72,9 @@ __all__ = [
     "ENGINE_CONTENDERS",
     "EngineBakeoffResult",
     "run_engine_bakeoff",
+    "CHAOS_ENGINES",
+    "ChaosBakeoffResult",
+    "run_chaos_bakeoff",
     "ReproductionReport",
     "run_all",
     "EXPERIMENTS",

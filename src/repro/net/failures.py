@@ -182,6 +182,16 @@ class NodeCrashInjector:
     def _crash(rankers: List, g: int) -> None:
         rankers[g].crashed = True
 
+    def fired(self, now: float) -> int:
+        """How many scheduled crashes have fired by simulated ``now``.
+
+        Recovered groups hold a live replacement, so "currently
+        crashed" undercounts churn; this counts injections whose crash
+        time has passed, which is what run reports mean by
+        ``crashed_groups``.
+        """
+        return sum(1 for (_, t) in self.injected if t <= now)
+
 
 class ChaosModel:
     """Adversarial message behaviour for the reliability layer.

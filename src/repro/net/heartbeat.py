@@ -71,6 +71,8 @@ class HeartbeatMonitor:
         self.deaths_detected = 0
         #: Groups that resumed beating after having been declared dead.
         self.rejoins = 0
+        #: Completed sweep events (detection latency = sweeps × interval).
+        self.sweeps = 0
         self._started = False
         self._stopped = False
 
@@ -80,7 +82,7 @@ class HeartbeatMonitor:
         self._on_death.append(callback)
 
     def start(self) -> None:
-        """Begin the periodic sweep chain (idempotent)."""
+        """Begin the periodic sweep chain (raises if already started)."""
         if self._started:
             raise RuntimeError("heartbeat monitor already started")
         self._started = True
@@ -98,6 +100,7 @@ class HeartbeatMonitor:
     def _sweep(self) -> None:
         if self._stopped:
             return
+        self.sweeps += 1
         for g in range(len(self.rankers)):
             if getattr(self.rankers[g], "crashed", False):
                 self.missed[g] += 1

@@ -305,6 +305,26 @@ class ReliableTransport(Transport):
         self.sim.schedule(delay, self._on_ack, ack)
 
     # ------------------------------------------------------------------
+    def window_state(self) -> Dict[Tuple[int, int], Dict[str, object]]:
+        """Debug snapshot of every (src, dst) sequencing window.
+
+        Maps each pair that has ever sent to ``{"next_seq": int,
+        "pending": sorted unACKed seqs}``.  The hybrid engine's
+        equivalence tests use this to assert sequence continuity across
+        fast/replayed round boundaries: seq numbering must never reset
+        or skip when the engine switches execution paths mid-run.
+        """
+        state: Dict[Tuple[int, int], Dict[str, object]] = {}
+        for pair, nxt in self._next_seq.items():
+            state[pair] = {"next_seq": nxt, "pending": []}
+        for (src, dst, seq) in self._pending:
+            state.setdefault(
+                (src, dst), {"next_seq": 0, "pending": []}
+            )["pending"].append(seq)
+        for entry in state.values():
+            entry["pending"] = sorted(entry["pending"])
+        return state
+
     def stats(self) -> Dict[str, int]:
         """Reliability counters in one dict (reporting convenience)."""
         return {

@@ -166,9 +166,16 @@ def test_flat_engine_rejects_subperiod_sampling():
         )
 
 
-def test_flat_engine_rejects_async_schedule():
+def test_flat_async_schedule_dispatches_to_hybrid():
+    """flat+async now resolves to the hybrid engine instead of raising."""
+    cfg = DistributedConfig(n_groups=4, engine="flat", schedule="async")
+    assert cfg.engine == "hybrid"
+
+
+def test_mc_engine_still_rejects_async_schedule():
+    """The dispatch is flat-only: mc keeps its pointed rejection."""
     with pytest.raises(ValueError, match="sync"):
-        DistributedConfig(n_groups=4, engine="flat", schedule="async")
+        DistributedConfig(n_groups=4, engine="mc", schedule="async")
 
 
 def test_sync_schedule_rejects_mean_waits():
@@ -176,15 +183,26 @@ def test_sync_schedule_rejects_mean_waits():
         DistributedConfig(n_groups=4, schedule="sync", mean_waits=[1.0] * 4)
 
 
-def test_flat_engine_rejects_fault_features():
-    for bad in (
+def test_flat_fault_features_dispatch_to_hybrid():
+    """Fault knobs on a flat request resolve to the hybrid fast path."""
+    for knobs in (
         dict(reliable=True),
         dict(suppress_tol=1e-6),
         dict(crash_prob=0.1),
-        dict(x_mode="delta"),
     ):
-        with pytest.raises(ValueError, match="does not support"):
-            DistributedConfig(n_groups=4, engine="flat", schedule="sync", **bad)
+        cfg = DistributedConfig(
+            n_groups=4, engine="flat", schedule="sync", **knobs
+        )
+        assert cfg.engine == "hybrid", knobs
+
+
+def test_flat_engine_rejects_unbridgeable_features():
+    """x_mode='delta' is event-only, so no dispatch can save it; the
+    rejection names the engine that does support it."""
+    with pytest.raises(ValueError, match="does not support.*event"):
+        DistributedConfig(
+            n_groups=4, engine="flat", schedule="sync", x_mode="delta"
+        )
 
 
 def test_flat_engine_standalone_run():
