@@ -17,6 +17,8 @@ Usage::
                             [--walks-per-page R]
     python -m repro chaos   [--pages N] [--groups K] [--target EPS]
                             [--engines event,hybrid]
+    python -m repro serve   [--web-pages N] [--crawl N] [--groups K]
+                            [--epsilon EPS] [--phases P] [--churn C]
 
 Every subcommand prints the same text tables the benches save, so a
 user can regenerate any paper artifact without touching pytest.
@@ -330,6 +332,36 @@ def build_parser() -> argparse.ArgumentParser:
         "set, else no caching); cached tables reproduce byte-identically",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serving-tier demo: incremental re-ranking + indexed top-k "
+        "queries against a crawler mutating the graph under churn",
+    )
+    p_serve.add_argument("--web-pages", type=_positive_int, default=3000,
+                         help="TrueWeb size (the hidden full web)")
+    p_serve.add_argument("--sites", type=_positive_int, default=60,
+                         help="site count")
+    p_serve.add_argument("--crawl", type=_positive_int, default=1200,
+                         help="pages crawled before the server boots")
+    p_serve.add_argument("--groups", type=_positive_int, default=8,
+                         help="ranker count K")
+    p_serve.add_argument("--epsilon", type=_positive_float, default=1e-3,
+                         help="staleness budget ε (relative L1)")
+    p_serve.add_argument("--phases", type=_positive_int, default=4,
+                         help="churn-crawl-sync-query phases")
+    p_serve.add_argument("--churn", type=_non_negative_int, default=80,
+                         help="TrueWeb link edits per phase")
+    p_serve.add_argument("--budget", type=_positive_int, default=200,
+                         help="crawler fetch budget per phase")
+    p_serve.add_argument("--queries", type=_positive_int, default=400,
+                         help="queries fired per phase")
+    p_serve.add_argument("--seed", type=int, default=2003)
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR if "
+        "set, else no caching); cached tables reproduce byte-identically",
+    )
+
     p_chaos = sub.add_parser(
         "chaos",
         help="chaos bake-off: the EXPERIMENTS.md churn scenario on the "
@@ -617,6 +649,32 @@ def cmd_engines(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the serving-tier demo and print its table."""
+    import contextlib
+
+    from repro.experiments import run_serve_demo
+    from repro.parallel.cache import ArtifactCache, activate, cache_from_env
+
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    ctx = activate(cache) if cache is not None else contextlib.nullcontext()
+    with ctx:
+        result = run_serve_demo(
+            web_pages=args.web_pages,
+            web_sites=min(args.sites, args.web_pages),
+            crawl_pages=min(args.crawl, args.web_pages),
+            n_groups=args.groups,
+            epsilon=args.epsilon,
+            phases=args.phases,
+            churn_per_phase=args.churn,
+            crawl_budget=args.budget,
+            queries_per_phase=args.queries,
+            seed=args.seed,
+        )
+    print(result.format())
+    return 0 if result.within_budget() else 1
+
+
 def cmd_chaos(args) -> int:
     """Run the chaos bake-off and print its table."""
     import contextlib
@@ -673,6 +731,7 @@ COMMANDS = {
     "graphgen": cmd_graphgen,
     "partitions": cmd_partitions,
     "engines": cmd_engines,
+    "serve": cmd_serve,
     "chaos": cmd_chaos,
     "all": cmd_all,
 }

@@ -634,6 +634,33 @@ class DistributedRun:
         """Add node churn to the run (must be called before :meth:`run`)."""
         injector.install(self.sim, self.rankers)
 
+    def warm_start(self, ranks: np.ndarray) -> None:
+        """Seed the run with a prior global rank vector.
+
+        Setting each node's ``r`` alone is not enough: the outer step
+        recomputes ``R`` from ``βE + X``, so with empty afferent state
+        the first step erases the carried ranks before they are ever
+        sent.  This scatters ``ranks`` into every node *and* seeds each
+        node's afferent state with the generation-0 contributions its
+        sources would have sent for those ranks, so the first outer
+        step refines the previous fixed point instead of starting over.
+        Must be called before :meth:`run`.
+        """
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.shape != (self.graph.n_pages,):
+            raise ValueError(
+                f"warm-start vector has shape {ranks.shape}, "
+                f"want ({self.graph.n_pages},)"
+            )
+        pages = self.system.blocks.pages
+        for g, ranker in enumerate(self.rankers):
+            ranker.node.r = ranks[pages[g]].copy()
+        for g, ranker in enumerate(self.rankers):
+            # ``efferent`` returns views into one shared buffer;
+            # ``seed_afferent`` copies before storing.
+            for dst, values in self.system.efferent(g, ranker.node.r).items():
+                self.rankers[dst].node.seed_afferent(g, values)
+
     def run(
         self,
         *,

@@ -214,6 +214,32 @@ class DPRNode:
             self._x_dirty = True
         self._mail = True
 
+    def seed_afferent(self, src: int, values: np.ndarray) -> None:
+        """Install a synthetic generation-0 afferent vector from ``src``.
+
+        The outer step recomputes ``R`` from ``βE + X``, so carrying a
+        previous rank vector into ``r`` alone is erased by the first
+        step before it is ever sent.  A warm start must therefore also
+        seed ``X`` with the contributions each neighbour *would* have
+        sent for the carried ranks (see
+        :meth:`~repro.core.coordinator.DistributedRun.warm_start`); the
+        first step then refines the previous fixed point instead of
+        recomputing the mail-free solution.  Any real update
+        (generation ≥ 1) supersedes the seed.
+        """
+        values = np.array(values, dtype=np.float64)
+        if values.shape != (self.n_local,):
+            raise ValueError(
+                f"seed vector shape {values.shape}, want ({self.n_local},)"
+            )
+        if src in self._latest_gen:
+            raise ValueError(f"afferent from source {src} already present")
+        self._latest_values[src] = values
+        self._latest_gen[src] = 0
+        if not self._x_dirty:
+            np.add(self._x, values, out=self._x)
+        self._mail = True
+
     def _refresh(self) -> np.ndarray:
         """Bring the running ``X`` up to date; returns the live buffer."""
         if self._x_dirty:

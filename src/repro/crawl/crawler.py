@@ -164,6 +164,33 @@ class Crawler:
         while self.n_crawled < n_pages and self.frontier:
             self.step(budget_per_step)
 
+    def refresh(self, budget: int) -> CrawlStats:
+        """Spend the whole budget re-fetching the stalest crawled pages.
+
+        The pure-revisit counterpart of :meth:`step`: no new pages are
+        fetched, so the crawled set is unchanged while link edits the
+        :class:`TrueWeb` made since the last fetch become visible.
+        This is what a *mutation-only* online phase runs — the crawl
+        has stopped growing but the web underneath keeps churning.
+        """
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        stale = 0
+        refreshes = 0
+        if self.n_crawled:
+            order = np.argsort(np.asarray(self._fetched_version))[:budget]
+            for cid in order:
+                if self._refresh(int(cid)):
+                    stale += 1
+                refreshes += 1
+        return CrawlStats(
+            pages_crawled=self.n_crawled,
+            frontier_size=len(self.frontier),
+            fetches=0,
+            refreshes=refreshes,
+            stale_detected=stale,
+        )
+
     # ------------------------------------------------------------------
     def snapshot(self) -> WebGraph:
         """The current crawled view **C** as an open-system WebGraph.

@@ -58,6 +58,7 @@ def online_distributed_pagerank(
     target_relative_error: float = 1e-4,
     max_time_per_phase: float = 2000.0,
     config: Optional[DistributedConfig] = None,
+    warm_start: bool = True,
     seed: int = 0,
 ) -> List[OnlinePhase]:
     """Crawl and rank in alternating phases; see module docstring.
@@ -66,17 +67,31 @@ def online_distributed_pagerank(
     ----------
     crawler:
         Positioned anywhere (fresh or mid-crawl).
+    pages_per_phase:
+        Crawl growth per phase.  ``0`` makes phases *mutation-only*:
+        the crawled set stays fixed while the crawler re-fetches every
+        page to pick up churn — the steady-state regime of a crawl
+        that has exhausted its frontier over a web that keeps moving.
     churn_per_phase:
         Link edits applied to the underlying TrueWeb between phases
         (0 = static web, growth only).
     config:
         Base distributed configuration; ``n_groups`` and seeds are
         overridden per call.
+    warm_start:
+        Carry each phase's ranks into the next (the default).
+        ``False`` ranks every phase from scratch — the cold baseline
+        the warm-start ablation (``BENCH_online.json``) measures
+        against.
 
     Returns one :class:`OnlinePhase` per phase.
     """
     if phases < 1:
         raise ValueError("phases must be >= 1")
+    if pages_per_phase < 0:
+        raise ValueError("pages_per_phase must be >= 0")
+    if churn_per_phase < 0:
+        raise ValueError("churn_per_phase must be >= 0")
     base = config if config is not None else DistributedConfig(t1=1.0, t2=1.0)
     results: List[OnlinePhase] = []
     prev_ranks: Optional[np.ndarray] = None
@@ -84,8 +99,17 @@ def online_distributed_pagerank(
     for phase in range(phases):
         if churn_per_phase and phase > 0:
             crawler.web.churn(churn_per_phase, seed=seed + phase)
-        crawler.crawl_until(crawler.n_crawled + pages_per_phase)
+        if pages_per_phase:
+            crawler.crawl_until(crawler.n_crawled + pages_per_phase)
+        elif crawler.n_crawled:
+            # Mutation-only phase: same pages, fresh links.
+            crawler.refresh(crawler.n_crawled)
         graph = crawler.snapshot()
+        if graph.n_pages == 0:
+            raise ValueError(
+                "crawler has no crawled pages and pages_per_phase=0: "
+                "nothing to rank (crawl first, or set pages_per_phase > 0)"
+            )
         partition = make_partition(graph, n_groups, "site")
 
         from dataclasses import replace
@@ -98,13 +122,19 @@ def online_distributed_pagerank(
         # ids are stable, so page i of the old snapshot is page i of
         # the new one; freshly crawled pages start at 0 (Theorem 4.1's
         # R0 = 0 choice, so the *new* mass still grows monotonically).
-        if prev_ranks is not None:
+        # Mutation-only phases have an empty delta (same page count),
+        # so the copy is the identity on the page set.  ``warm_start``
+        # seeds the afferent state too — setting ``node.r`` alone is
+        # erased by the first outer step (R is recomputed from βE + X).
+        if warm_start and prev_ranks is not None:
             warm = np.zeros(graph.n_pages)
-            warm[: prev_ranks.shape[0]] = prev_ranks
-            for g, ranker in enumerate(run.rankers):
-                ranker.node.r = warm[run.system.blocks.pages[g]].copy()
+            m = min(prev_ranks.shape[0], graph.n_pages)
+            warm[:m] = prev_ranks[:m]
+            run.warm_start(warm)
 
-        initial = _initial_error(run, prev_ranks, graph.n_pages)
+        initial = _initial_error(
+            run, prev_ranks if warm_start else None, graph.n_pages
+        )
         res = run.run(
             max_time=max_time_per_phase,
             target_relative_error=target_relative_error,
@@ -125,10 +155,18 @@ def online_distributed_pagerank(
 
 
 def _initial_error(run: DistributedRun, prev_ranks, n_pages: int) -> float:
-    """Relative error of the warm-started state before any iteration."""
+    """Relative error of the warm-started state before any iteration.
+
+    Robust to a shrinking or empty delta: the carried vector is
+    truncated to the current page count (mutation-only phases carry
+    exactly as many ranks as there are pages, and a replayed crawl
+    prefix can legitimately carry *more*), and an empty carried vector
+    is the cold start.
+    """
     from repro.linalg.norms import relative_l1_error
 
     warm = np.zeros(n_pages)
-    if prev_ranks is not None:
-        warm[: prev_ranks.shape[0]] = prev_ranks
+    if prev_ranks is not None and prev_ranks.shape[0]:
+        m = min(prev_ranks.shape[0], n_pages)
+        warm[:m] = prev_ranks[:m]
     return relative_l1_error(warm, run.reference)

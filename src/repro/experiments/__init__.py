@@ -37,6 +37,10 @@ from repro.experiments.chaos import (
     ChaosBakeoffResult,
     run_chaos_bakeoff,
 )
+from repro.experiments.serve import (
+    ServeDemoResult,
+    run_serve_demo,
+)
 from repro.experiments.partitions import (
     BAKEOFF_STRATEGIES,
     PartitionBakeoffResult,
@@ -75,6 +79,8 @@ __all__ = [
     "CHAOS_ENGINES",
     "ChaosBakeoffResult",
     "run_chaos_bakeoff",
+    "ServeDemoResult",
+    "run_serve_demo",
     "ReproductionReport",
     "run_all",
     "EXPERIMENTS",

@@ -24,6 +24,7 @@ __all__ = [
     "operator_one_norm",
     "spectral_radius_upper_bound",
     "residual_error_bound",
+    "pre_sweep_error_bound",
     "contraction_iterations_needed",
 ]
 
@@ -96,6 +97,27 @@ def residual_error_bound(operator_norm: float, step_difference: float) -> float:
     check_fraction(operator_norm, "operator_norm")
     check_non_negative(step_difference, "step_difference")
     return operator_norm / (1.0 - operator_norm) * step_difference
+
+
+def pre_sweep_error_bound(operator_norm: float, step_difference: float) -> float:
+    """Distance to the fixed point of the iterate *before* a sweep.
+
+    Theorem 3.3 bounds the post-sweep iterate: ``‖x* − x_m‖ ≤
+    ‖A‖/(1−‖A‖)·Δ`` with ``Δ = ‖x_m − x_{m−1}‖``.  A *serving* system
+    measures ``Δ`` with a certification sweep but keeps answering
+    queries from the pre-sweep vector ``x_{m−1}``, so its bound gains
+    one triangle-inequality step::
+
+        ‖x* − x_{m−1}‖ ≤ Δ + ‖x* − x_m‖ ≤ Δ/(1 − ‖A‖)
+
+    This is the staleness certificate of the serving tier
+    (:mod:`repro.serve.incremental`): one O(nnz) sweep converts the
+    currently-served vector's step difference into a hard bound on its
+    distance to the current graph's fixed point.
+    """
+    check_fraction(operator_norm, "operator_norm")
+    check_non_negative(step_difference, "step_difference")
+    return step_difference / (1.0 - operator_norm)
 
 
 def contraction_iterations_needed(

@@ -1,0 +1,318 @@
+"""Exact order-statistics index over a mutating rank vector.
+
+Serving top-k / rank-of / percentile queries by scanning the rank
+vector is O(n) per query — the thing a read-heavy tier cannot afford.
+:class:`RankIndex` answers the same queries exactly without touching
+the vector, from a structure maintained incrementally as ranks move
+(the ``changed_pages`` delta of each
+:class:`~repro.serve.incremental.FlushStats`).
+
+Design: power-of-two value buckets + lazily sorted bucket caches
+----------------------------------------------------------------
+Every page lives in the bucket of its value's binary exponent
+(``frexp``), so
+
+* equal values always share a bucket, and
+* bucket value ranges are disjoint and ordered — every value in a
+  higher bucket is strictly greater than every value in a lower one.
+
+Descending-bucket traversal therefore yields pages in globally sorted
+order once each visited bucket is internally sorted, and the index
+keeps a per-bucket cache of its members lexsorted by the serving
+order (value descending, page id ascending — ties broken toward the
+older page).  An update moves pages between buckets in O(1) amortized
+per page and marks only the touched buckets' caches dirty, so query
+cost concentrates where ranks actually moved:
+
+* ``top_k(k)`` — walk buckets from the top, concatenating cached
+  sorted runs: O(k + B) with B ≈ number of distinct exponents
+  (≤ a few dozen for rank vectors, whose mass spans a narrow range).
+* ``rank_of(page)`` — cumulative bucket sizes (cached) + one binary
+  search inside the page's bucket: O(log).
+* ``percentile(q)`` — nearest-rank selection by walking cumulative
+  sizes from the bottom: O(B + log).
+
+Float64 exponents are bounded (±1075 with subnormals), so the bucket
+table cannot grow past ~2200 entries no matter the value
+distribution.
+
+The brute-force reference implementations used to pin correctness
+(the hypothesis layer compares them against the index after every
+mutation batch) live here too, defining the exact query semantics:
+``rank_of`` is 1-based in descending serving order; ``percentile(q)``
+is the nearest-rank lower percentile (smallest value whose ascending
+rank reaches ``⌈q/100·n⌉``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RankIndex",
+    "brute_force_top_k",
+    "brute_force_rank_of",
+    "brute_force_percentile",
+]
+
+#: Bucket id for non-positive values (sorts below every real exponent).
+_FLOOR_BUCKET = -100_000
+#: Sentinel for "page not in index" in the page->bucket table.
+_NO_BUCKET = np.iinfo(np.int32).min
+
+
+def _bucket_ids(values: np.ndarray) -> np.ndarray:
+    """Binary-exponent bucket of each value (vectorized ``frexp``)."""
+    values = np.asarray(values, dtype=np.float64)
+    _, exp = np.frexp(values)
+    out = exp.astype(np.int32)
+    out[values <= 0.0] = _FLOOR_BUCKET
+    return out
+
+
+class RankIndex:
+    """Incrementally maintained exact top-k / percentile index.
+
+    Page ids are dense (``0 .. n-1``) and only ever grow, matching the
+    serving tier's crawl model; a page enters the index the first time
+    :meth:`update` mentions it.
+
+    All queries serve the *descending* rank order with ties broken by
+    ascending page id, and are exact: the property-test layer pins
+    every query against the brute-force references after random
+    mutation sequences.
+    """
+
+    def __init__(
+        self,
+        pages: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ):
+        self._values = np.zeros(0, dtype=np.float64)
+        self._bucket_of = np.zeros(0, dtype=np.int32)
+        self._n_slots = 0  # length of the id space (dense, grow-only)
+        self._n = 0  # pages actually indexed
+        self._members: Dict[int, Set[int]] = {}
+        self._sorted: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._cum: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if pages is not None or values is not None:
+            if pages is None or values is None:
+                raise ValueError("pages and values must be given together")
+            self.update(pages, values)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, page: int) -> bool:
+        return 0 <= page < self._n_slots and self._bucket_of[page] != _NO_BUCKET
+
+    def update(self, pages: np.ndarray, values: np.ndarray) -> None:
+        """Set the value of every listed page (insert or move).
+
+        This is the write path: feed it ``FlushStats.changed_pages`` /
+        ``changed_values`` after every ranker flush.  Duplicate pages
+        in one call are an error (a batch has one final value per
+        page).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if pages.shape != values.shape or pages.ndim != 1:
+            raise ValueError("pages and values must be parallel 1-D arrays")
+        if pages.size == 0:
+            return
+        if pages.min() < 0:
+            raise ValueError("page ids must be non-negative")
+        if np.unique(pages).size != pages.size:
+            raise ValueError("duplicate page in one update batch")
+
+        top = int(pages.max()) + 1
+        if top > self._n_slots:
+            self._grow(top)
+
+        old_buckets = self._bucket_of[pages]
+        new_buckets = _bucket_ids(values)
+        self._values[pages] = values
+        self._bucket_of[pages] = new_buckets
+
+        touched: Set[int] = set()
+        for arr, buckets in ((pages, old_buckets), (pages, new_buckets)):
+            order = np.argsort(buckets, kind="stable")
+            bs = buckets[order]
+            ps = arr[order]
+            bounds = np.flatnonzero(np.r_[True, np.diff(bs) != 0])
+            ends = np.r_[bounds[1:], bs.size]
+            for s, e in zip(bounds, ends):
+                b = int(bs[s])
+                if b == _NO_BUCKET:
+                    continue  # insertions have no old bucket
+                members = self._members.get(b)
+                if buckets is old_buckets:
+                    if members is not None:
+                        members.difference_update(int(p) for p in ps[s:e])
+                else:
+                    if members is None:
+                        members = self._members[b] = set()
+                    members.update(int(p) for p in ps[s:e])
+                touched.add(b)
+        self._n += int(np.count_nonzero(old_buckets == _NO_BUCKET))
+        for b in touched:
+            if b in self._members and not self._members[b]:
+                del self._members[b]
+            self._sorted.pop(b, None)
+        self._cum = None
+
+    def _grow(self, top: int) -> None:
+        cap = max(top, int(self._n_slots * 1.5) + 8)
+        values = np.zeros(cap, dtype=np.float64)
+        values[: self._n_slots] = self._values[: self._n_slots]
+        buckets = np.full(cap, _NO_BUCKET, dtype=np.int32)
+        buckets[: self._n_slots] = self._bucket_of[: self._n_slots]
+        self._values = values
+        self._bucket_of = buckets
+        self._n_slots = top
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def value_of(self, page: int) -> float:
+        """Current indexed value of ``page``."""
+        self._check_page(page)
+        return float(self._values[page])
+
+    def top_k(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``min(k, n)`` highest-ranked pages, in serving order.
+
+        Returns ``(pages, values)``; descending value, ties broken by
+        ascending page id.
+        """
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        k = min(k, self._n)
+        out_p: List[np.ndarray] = []
+        out_v: List[np.ndarray] = []
+        got = 0
+        for b in sorted(self._members, reverse=True):
+            if got >= k:
+                break
+            ps, vs = self._sorted_bucket(b)
+            take = min(k - got, ps.size)
+            out_p.append(ps[:take])
+            out_v.append(vs[:take])
+            got += take
+        if not out_p:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        return np.concatenate(out_p), np.concatenate(out_v)
+
+    def rank_of(self, page: int) -> int:
+        """1-based position of ``page`` in the serving order."""
+        self._check_page(page)
+        b = int(self._bucket_of[page])
+        v = float(self._values[page])
+        higher, _ = self._cumulative()
+        ps, vs = self._sorted_bucket(b)
+        # vs is descending; locate the run of values equal to v, then
+        # the page within it (pages ascend inside a run).
+        lo = int(np.searchsorted(-vs, -v, side="left"))
+        hi = int(np.searchsorted(-vs, -v, side="right"))
+        pos = lo + int(np.searchsorted(ps[lo:hi], page))
+        return int(higher[b]) + pos + 1
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank lower percentile of the indexed values.
+
+        The smallest indexed value whose ascending 1-based rank is at
+        least ``⌈q/100·n⌉`` (``q = 0`` gives the minimum, ``q = 100``
+        the maximum) — exactly :func:`brute_force_percentile`.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self._n == 0:
+            raise ValueError("percentile of an empty index")
+        k = max(1, int(math.ceil(q / 100.0 * self._n)))  # ascending rank
+        remaining = k
+        for b in sorted(self._members):
+            size = len(self._members[b])
+            if remaining > size:
+                remaining -= size
+                continue
+            _, vs = self._sorted_bucket(b)  # descending within bucket
+            return float(vs[size - remaining])
+        raise AssertionError("unreachable: k <= n")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_page(self, page: int) -> None:
+        if page not in self:
+            raise KeyError(f"page {page} is not indexed")
+
+    def _sorted_bucket(self, b: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Bucket members lexsorted by (value desc, page asc), cached."""
+        cached = self._sorted.get(b)
+        if cached is not None:
+            return cached
+        members = self._members[b]
+        ps = np.fromiter(members, dtype=np.int64, count=len(members))
+        vs = self._values[ps]
+        order = np.lexsort((ps, -vs))
+        cached = (ps[order], vs[order])
+        self._sorted[b] = cached
+        return cached
+
+    def _cumulative(self) -> Tuple[Dict[int, int], np.ndarray]:
+        """Per-bucket count of pages in strictly higher buckets (cached)."""
+        if self._cum is None:
+            ids = sorted(self._members, reverse=True)
+            higher: Dict[int, int] = {}
+            acc = 0
+            for b in ids:
+                higher[b] = acc
+                acc += len(self._members[b])
+            self._cum = (higher, np.asarray(ids, dtype=np.int64))
+        return self._cum
+
+
+# ----------------------------------------------------------------------
+# Brute-force references (the semantic ground truth for the tests)
+# ----------------------------------------------------------------------
+def _serving_order(values: np.ndarray) -> np.ndarray:
+    """Page ids sorted by (value desc, page asc) — the serving order."""
+    values = np.asarray(values, dtype=np.float64)
+    pages = np.arange(values.size, dtype=np.int64)
+    return np.lexsort((pages, -values))
+
+
+def brute_force_top_k(values: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """O(n log n) top-k by full sort: the reference for ``top_k``."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    order = _serving_order(values)[: min(k, np.asarray(values).size)]
+    return order, np.asarray(values, dtype=np.float64)[order]
+
+
+def brute_force_rank_of(values: np.ndarray, page: int) -> int:
+    """O(n) 1-based serving rank of ``page``: the reference for ``rank_of``."""
+    values = np.asarray(values, dtype=np.float64)
+    if not 0 <= page < values.size:
+        raise KeyError(f"page {page} is not indexed")
+    v = values[page]
+    higher = int(np.count_nonzero(values > v))
+    same = int(np.count_nonzero(values[:page] == v))
+    return higher + same + 1
+
+
+def brute_force_percentile(values: np.ndarray, q: float) -> float:
+    """Nearest-rank lower percentile: the reference for ``percentile``."""
+    values = np.asarray(values, dtype=np.float64)
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if values.size == 0:
+        raise ValueError("percentile of an empty index")
+    k = max(1, int(math.ceil(q / 100.0 * values.size)))
+    return float(np.sort(values)[k - 1])

@@ -128,3 +128,41 @@ class TestFaultInjection:
         )
         assert res.converged
         assert res.dropped_updates > 0
+
+
+class TestWarmStart:
+    def test_exact_warm_start_converges_faster(self, contest_small):
+        """Seeding with the centralized fixed point must beat cold."""
+        cfg = DistributedConfig(n_groups=8, t1=1.0, t2=1.0, seed=2)
+        cold = DistributedRun(contest_small, cfg)
+        cold_res = cold.run(target_relative_error=1e-4, max_time=500.0)
+
+        warm = DistributedRun(contest_small, cfg)
+        warm.warm_start(warm.reference)
+        warm_res = warm.run(target_relative_error=1e-4, max_time=500.0)
+
+        assert warm_res.converged and cold_res.converged
+        assert warm_res.time_to_target < cold_res.time_to_target
+        assert (
+            warm_res.outer_iterations.mean()
+            < cold_res.outer_iterations.mean()
+        )
+
+    def test_warm_start_seeds_afferent_state(self, contest_small):
+        """The carried ranks must survive into X, not just into r."""
+        cfg = DistributedConfig(n_groups=8, t1=1.0, t2=1.0, seed=2)
+        run = DistributedRun(contest_small, cfg)
+        run.warm_start(run.reference)
+        for g, ranker in enumerate(run.rankers):
+            expected = np.zeros(run.system.group_size(g))
+            for src in run.system.sources_of(g):
+                expected += run.system.efferent(
+                    src, run.reference[run.system.blocks.pages[src]]
+                )[g]
+            np.testing.assert_allclose(ranker.node.refresh_x(), expected)
+
+    def test_warm_start_rejects_wrong_shape(self, contest_small):
+        cfg = DistributedConfig(n_groups=4, t1=1.0, t2=1.0)
+        run = DistributedRun(contest_small, cfg)
+        with pytest.raises(ValueError, match="warm-start"):
+            run.warm_start(np.ones(contest_small.n_pages + 3))

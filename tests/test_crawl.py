@@ -191,3 +191,117 @@ class TestOnlineRanking:
 
         with pytest.raises(ValueError):
             online_distributed_pagerank(crawler, phases=0)
+
+    def test_rejects_negative_budgets(self):
+        web = TrueWeb(100, 2, seed=0)
+        from repro.crawl import online_distributed_pagerank
+
+        with pytest.raises(ValueError, match="pages_per_phase"):
+            online_distributed_pagerank(Crawler(web), pages_per_phase=-1)
+        with pytest.raises(ValueError, match="churn_per_phase"):
+            online_distributed_pagerank(Crawler(web), churn_per_phase=-1)
+
+    def test_mutation_only_phases(self):
+        # pages_per_phase=0 with churn: the crawled set is frozen but
+        # the crawler refreshes it, so phases rank *changed* graphs of
+        # constant size — the regression case for the refresh plumbing.
+        from repro.crawl import online_distributed_pagerank
+
+        web = TrueWeb(800, 8, seed=21)
+        crawler = Crawler(web, seeds=[0], seed=22)
+        crawler.crawl_until(300)
+        n0 = crawler.n_crawled
+        before = crawler.snapshot()
+        phases = online_distributed_pagerank(
+            crawler, n_groups=4, phases=3, pages_per_phase=0,
+            churn_per_phase=80, seed=23,
+        )
+        assert all(ph.converged for ph in phases)
+        assert all(ph.n_pages == n0 for ph in phases)
+        # Churn was actually observed: the frozen crawl's view changed.
+        assert crawler.snapshot() != before
+        # The empty delta still warm-starts: phases after the first
+        # begin near their fixed point, not at cold-start error 1.0.
+        assert all(ph.initial_error < 0.9 for ph in phases[1:])
+
+    def test_mutation_only_without_crawled_pages_raises(self):
+        from repro.crawl import online_distributed_pagerank
+
+        web = TrueWeb(100, 2, seed=0)
+        crawler = Crawler(web)  # nothing crawled yet
+        with pytest.raises(ValueError, match="pages_per_phase"):
+            online_distributed_pagerank(
+                crawler, phases=1, pages_per_phase=0
+            )
+
+    def test_cold_start_mode(self):
+        # warm_start=False: every phase starts at full error.
+        from repro.crawl import online_distributed_pagerank
+
+        web = TrueWeb(1000, 10, seed=31)
+        crawler = Crawler(web, seeds=[0], seed=32)
+        phases = online_distributed_pagerank(
+            crawler, n_groups=4, phases=3, pages_per_phase=150,
+            warm_start=False, seed=33,
+        )
+        assert all(ph.converged for ph in phases)
+        for ph in phases:
+            assert ph.initial_error == pytest.approx(1.0)
+
+    def test_initial_error_tolerates_shrinking_delta(self):
+        # _initial_error must truncate a carried vector longer than the
+        # current page count (replayed crawl prefix) and treat an empty
+        # one as cold.
+        import numpy as np
+
+        from repro.core.coordinator import DistributedConfig, DistributedRun
+        from repro.core.pagerank import pagerank_open
+        from repro.crawl.online import _initial_error
+        from repro.graph.partition import make_partition
+
+        web = TrueWeb(300, 3, seed=41)
+        crawler = Crawler(web, seeds=[0], seed=42)
+        crawler.crawl_until(150)
+        graph = crawler.snapshot()
+        cfg = DistributedConfig(t1=1.0, t2=1.0, n_groups=3)
+        reference = pagerank_open(graph, tol=1e-12).ranks
+        run = DistributedRun(
+            graph, cfg,
+            partition=make_partition(graph, 3, "site"),
+            reference=reference,
+        )
+        n = graph.n_pages
+        longer = np.concatenate([reference, np.ones(50)])
+        assert _initial_error(run, longer, n) == pytest.approx(0.0, abs=1e-9)
+        assert _initial_error(run, np.zeros(0), n) == pytest.approx(1.0)
+        assert _initial_error(run, None, n) == pytest.approx(1.0)
+
+
+class TestCrawlerRefresh:
+    def test_refresh_is_pure_revisit(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(200)
+        n0 = crawler.n_crawled
+        for p in list(crawler.crawl_id.keys())[:30]:
+            web.add_link(p, (p + 7) % web.n_pages)
+        stats = crawler.refresh(n0)
+        assert crawler.n_crawled == n0  # no growth
+        assert stats.fetches == 0
+        assert stats.refreshes == n0
+        assert stats.stale_detected > 0
+
+    def test_refresh_budget_bounds_revisits(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        crawler.crawl_until(100)
+        stats = crawler.refresh(10)
+        assert stats.refreshes == 10
+
+    def test_refresh_rejects_bad_budget(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        with pytest.raises(ValueError):
+            crawler.refresh(0)
+
+    def test_refresh_on_empty_crawl(self, web):
+        crawler = Crawler(web, seeds=[0], seed=1)
+        stats = crawler.refresh(5)
+        assert stats.refreshes == 0 and stats.pages_crawled == 0

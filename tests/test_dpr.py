@@ -187,3 +187,39 @@ class TestSynchronousConvergence:
         r = node.step()
         reference = pagerank_open(contest_small, tol=1e-13).ranks
         np.testing.assert_allclose(r, reference, atol=1e-8)
+
+
+class TestSeedAfferent:
+    def test_seed_feeds_x_and_is_superseded(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        g = system.blocks.sources_of(1)[0]
+        size = system.group_size(1)
+        nodes[1].seed_afferent(g, np.full(size, 0.5))
+        np.testing.assert_array_equal(nodes[1].refresh_x(), np.full(size, 0.5))
+        # A real generation-1 update replaces the generation-0 seed.
+        nodes[1].receive(ScoreUpdate(g, 1, np.full(size, 2.0), 1, generation=1))
+        assert nodes[1].stale_updates == 0
+        np.testing.assert_array_equal(nodes[1].refresh_x(), np.full(size, 2.0))
+
+    def test_seed_copies_values(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        g = system.blocks.sources_of(1)[0]
+        size = system.group_size(1)
+        vec = np.full(size, 0.25)
+        nodes[1].seed_afferent(g, vec)
+        vec[:] = 99.0
+        np.testing.assert_array_equal(nodes[1].refresh_x(), np.full(size, 0.25))
+
+    def test_seed_rejects_wrong_shape(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        g = system.blocks.sources_of(1)[0]
+        with pytest.raises(ValueError, match="shape"):
+            nodes[1].seed_afferent(g, np.ones(system.group_size(1) + 1))
+
+    def test_seed_rejects_existing_source(self, contest_small):
+        system, nodes = build_nodes(contest_small, 4, "dpr1")
+        g = system.blocks.sources_of(1)[0]
+        size = system.group_size(1)
+        nodes[1].seed_afferent(g, np.full(size, 0.5))
+        with pytest.raises(ValueError, match="already present"):
+            nodes[1].seed_afferent(g, np.full(size, 0.5))
