@@ -19,6 +19,8 @@ Usage::
                             [--engines event,hybrid]
     python -m repro serve   [--web-pages N] [--crawl N] [--groups K]
                             [--epsilon EPS] [--phases P] [--churn C]
+    python -m repro compression [--pages N] [--groups K] [--target EPS]
+                                [--comm-epsilon EPS] [--codecs none,delta,...]
 
 Every subcommand prints the same text tables the benches save, so a
 user can regenerate any paper artifact without touching pytest.
@@ -221,6 +223,30 @@ def build_parser() -> argparse.ArgumentParser:
     g_churn.add_argument("--crash-horizon", type=_non_negative_float,
                          default=10.0, help="window crashes fire in")
 
+    g_comp = p_run.add_argument_group(
+        "compression", "wire codec and traffic suppression "
+        "(repro.net.codec / repro.net.adaptive)"
+    )
+    g_comp.add_argument(
+        "--codec", choices=["none", "delta", "delta-q16"], default="none",
+        help="wire codec for cross-group score updates: flat "
+        "100 B/record accounting (none), varint delta frames with "
+        "float32 deltas (delta; lossless at --comm-epsilon 0), or "
+        "float16 deltas (delta-q16; requires --comm-epsilon > 0)",
+    )
+    g_comp.add_argument(
+        "--comm-epsilon", type=_non_negative_float, default=0.0,
+        help="total certified error budget ε_comm in efferent L1 mass "
+        "(0 = lossless); the run's rank deviation is certified at or "
+        "below ε_comm / (1 - alpha)",
+    )
+    g_comp.add_argument(
+        "--send-threshold", type=_non_negative_float, default=0.0,
+        help="skip sending an efferent vector whose L1 change since "
+        "the last send is at or below this threshold (0 disables; "
+        "mutually exclusive with --codec)",
+    )
+
     g_rec = p_run.add_argument_group(
         "recovery", "failure detection and checkpoint-based takeover"
     )
@@ -398,6 +424,47 @@ def build_parser() -> argparse.ArgumentParser:
         "set, else no caching); cached tables reproduce byte-identically",
     )
 
+    p_comp = sub.add_parser(
+        "compression",
+        help="wire-compression bake-off: data bytes, paper-model bytes, "
+        "reduction factor, certified bound vs measured deviation for "
+        "each codec on one identical workload",
+    )
+    add_workload(p_comp)
+    p_comp.add_argument("--groups", type=_positive_int, default=16,
+                        help="ranker count K")
+    p_comp.add_argument(
+        "--codecs",
+        type=lambda s: [x for x in s.split(",") if x],
+        default=None,
+        help="comma-separated contender names (default: all of "
+        "none,delta,delta-eps,delta-q16)",
+    )
+    p_comp.add_argument(
+        "--target", type=_positive_float, default=1e-4,
+        help="relative-error target ε for the rounds-to-ε column",
+    )
+    p_comp.add_argument(
+        "--comm-epsilon", type=_positive_float, default=1e-4,
+        help="error budget ε_comm used by the lossy contenders "
+        "(delta-eps and delta-q16)",
+    )
+    p_comp.add_argument(
+        "--max-time", type=_positive_float, default=3000.0,
+        help="simulated-time budget per run",
+    )
+    p_comp.add_argument(
+        "--graph", default=None,
+        help="load this saved webgraph (directory → memory-mapped, "
+        "*.npz → in-memory) instead of generating one; --pages/--sites "
+        "are ignored",
+    )
+    p_comp.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR if "
+        "set, else no caching); cached tables reproduce byte-identically",
+    )
+
     p_all = sub.add_parser("all", help="run the full reproduction suite")
     add_workload(p_all)
     p_all.add_argument(
@@ -510,6 +577,9 @@ def cmd_run(args) -> int:
             heartbeat_miss_threshold=args.heartbeat_miss,
             checkpoint_interval=args.checkpoint_interval,
             recovery=args.recovery,
+            codec=args.codec,
+            comm_epsilon=args.comm_epsilon,
+            send_threshold=args.send_threshold,
             target_relative_error=args.target,
             max_time=args.max_time,
         )
@@ -542,6 +612,16 @@ def cmd_run(args) -> int:
             ("sends abandoned", result.gave_up),
             ("duplicates dropped", result.dup_drops),
             ("acks lost", result.acks_lost),
+        ]
+    if result.codec_stats is not None:
+        cs = result.codec_stats
+        rows += [
+            ("codec", cs["codec"]),
+            ("paper-model bytes", result.traffic.paper_data_bytes),
+            ("frames / suppressed / exact",
+             f"{cs['frames']} / {cs['suppressed_frames']} / "
+             f"{cs['exact_flushes']}"),
+            ("certified rank-error bound", f"{cs['certified_bound']:.3e}"),
         ]
     if args.crash_prob > 0 or args.heartbeat_interval > 0 or args.recovery:
         rows += [
@@ -703,6 +783,35 @@ def cmd_chaos(args) -> int:
     return 0 if result.verdicts_agree() else 1
 
 
+def cmd_compression(args) -> int:
+    """Run the wire-compression bake-off and print its table."""
+    import contextlib
+
+    from repro.experiments import COMPRESSION_CONTENDERS, run_compression_bakeoff
+    from repro.parallel.cache import ArtifactCache, activate, cache_from_env
+
+    if args.graph is not None:
+        from repro.graph.io import load_webgraph
+
+        graph = load_webgraph(args.graph, mmap=not str(args.graph).endswith(".npz"))
+    else:
+        graph = _make_graph(args)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    ctx = activate(cache) if cache is not None else contextlib.nullcontext()
+    with ctx:
+        result = run_compression_bakeoff(
+            graph,
+            n_groups=args.groups,
+            codecs=args.codecs or COMPRESSION_CONTENDERS,
+            seed=args.seed,
+            target_relative_error=args.target,
+            comm_epsilon=args.comm_epsilon,
+            max_time=args.max_time,
+        )
+    print(result.format())
+    return 0 if result.certified() else 1
+
+
 def cmd_all(args) -> int:
     """Run every experiment and print/write the combined report."""
     from repro.experiments import ExperimentScale, run_all
@@ -733,6 +842,7 @@ COMMANDS = {
     "engines": cmd_engines,
     "serve": cmd_serve,
     "chaos": cmd_chaos,
+    "compression": cmd_compression,
     "all": cmd_all,
 }
 

@@ -40,9 +40,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coordinator import DistributedConfig
 
 __all__ = [
+    "CODEC_ENGINES",
     "ENGINES",
     "FEATURES",
     "EngineProfile",
+    "codecs_supported",
     "engines_supporting",
     "requested_features",
     "resolve_engine",
@@ -184,6 +186,28 @@ ENGINES: Dict[str, EngineProfile] = {
 }
 
 
+#: Codec × engine validity table (``DistributedConfig.codec``).  The
+#: score engines all speak the delta codecs — the event engine encodes
+#: in ``PageRanker._emit``, the flat/hybrid engines at their round
+#: emit paths — while the Monte-Carlo engine ships walk tokens, not
+#: score vectors: its frames are exact varint gap lists
+#: (:func:`repro.net.codec.token_frame_bytes`), so the quantized
+#: ``delta-q16`` codec has nothing to quantize and is rejected.
+#: Cross-engine requirements (guaranteed delivery, no crash faults, no
+#: ad-hoc ``suppress_tol``) are enforced by ``DistributedConfig``
+#: itself — they restrict *configs*, not engines.
+CODEC_ENGINES: Dict[str, Tuple[str, ...]] = {
+    "none": ("event", "flat", "hybrid", "mc"),
+    "delta": ("event", "flat", "hybrid", "mc"),
+    "delta-q16": ("event", "flat", "hybrid"),
+}
+
+
+def codecs_supported(engine: str) -> List[str]:
+    """Codec names valid for ``engine``, table order."""
+    return [c for c, engines in CODEC_ENGINES.items() if engine in engines]
+
+
 def engines_supporting(feature_key: str) -> List[str]:
     """Engine names supporting ``feature_key``, registry order."""
     return [
@@ -259,6 +283,16 @@ def validate_config(config: "DistributedConfig") -> None:
             f"schedule={profile.schedules[0]!r}; "
             f"schedule={config.schedule!r} is supported by "
             f"engines: {', '.join(supporters)}"
+        )
+    codec = getattr(config, "codec", "none")
+    if codec not in CODEC_ENGINES:
+        raise ValueError(
+            f"codec must be one of {tuple(CODEC_ENGINES)}, got {codec!r}"
+        )
+    if config.engine not in CODEC_ENGINES[codec]:
+        raise ValueError(
+            f"engine={config.engine!r} does not support codec={codec!r} "
+            f"(supported by: {', '.join(CODEC_ENGINES[codec])})"
         )
     unsupported = unsupported_features(config, config.engine)
     if unsupported:

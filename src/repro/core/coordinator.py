@@ -17,7 +17,7 @@ import math
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -110,6 +110,28 @@ class DistributedConfig:
     hop_delay: float = 0.5
     aggregation_delay: float = 0.25
     suppress_tol: float = 0.0
+    #: Canonical name for the delta-suppression threshold (promoted
+    #: from the compression ablation): skip sending a pair's efferent
+    #: vector when it moved less than this in L1 since the last send.
+    #: Writes through to ``suppress_tol`` (the historical field, kept
+    #: for compatibility); setting both to different values is an
+    #: error.  Mutually exclusive with a wire codec, whose budgeted
+    #: suppression subsumes this ad-hoc rule.
+    send_threshold: float = 0.0
+    #: Wire codec for cross-group score updates: "none" (paper byte
+    #: model, the default), "delta" (varint index gaps + float32
+    #: deltas), or "delta-q16" (float16 deltas).  See
+    #: :mod:`repro.net.codec` / :mod:`repro.net.adaptive`; validity
+    #: per engine lives in ``capabilities.CODEC_ENGINES``.  Requires
+    #: guaranteed delivery (``delivery_prob == 1``; the reliable layer
+    #: and chaos are fine) and no crash/recovery faults — delta
+    #: sessions assume the receiver replays every frame in order.
+    codec: str = "none"
+    #: Total error budget ε_comm (L1 efferent mass) the codec may
+    #: suppress across the whole run; 0 means lossless (every shipped
+    #: frame is an exact flush, delivered values bit-identical to an
+    #: uncompressed run).  Requires ``codec != "none"``.
+    comm_epsilon: float = 0.0
     e: Union[float, np.ndarray, None] = None
     #: Monitor sampling cadence.  ``None`` resolves in
     #: ``__post_init__``: 1.0 for the event engine, the synchronous
@@ -219,6 +241,24 @@ class DistributedConfig:
                 "the sync schedule derives one common wait from (t1+t2)/2; "
                 "explicit mean_waits are only meaningful under schedule='async'"
             )
+        # Promote the canonical send_threshold name into the historical
+        # suppress_tol field (and mirror back) before any feature
+        # predicate reads it.
+        check_non_negative(self.send_threshold, "send_threshold")
+        check_non_negative(self.suppress_tol, "suppress_tol")
+        if self.send_threshold > 0.0:
+            if (
+                self.suppress_tol > 0.0
+                and self.suppress_tol != self.send_threshold
+            ):
+                raise ValueError(
+                    "send_threshold and suppress_tol name the same knob; "
+                    f"got conflicting values {self.send_threshold!r} and "
+                    f"{self.suppress_tol!r}"
+                )
+            self.suppress_tol = self.send_threshold
+        else:
+            self.send_threshold = self.suppress_tol
         # Default-on fast-path dispatch: a "flat" request whose config
         # needs faults or the async schedule resolves to the hybrid
         # engine (which runs those features on a persistent fault
@@ -263,8 +303,43 @@ class DistributedConfig:
                     )
         # Engine capability validation is table-driven; rejection
         # messages name the engines that do support each feature
-        # (see repro.core.capabilities).
+        # (see repro.core.capabilities), including the codec × engine
+        # validity table.
         validate_config(self)
+        # Cross-engine codec requirements: delta sessions assume every
+        # frame is replayed in order at the receiver.
+        check_non_negative(self.comm_epsilon, "comm_epsilon")
+        if self.codec == "none" and self.comm_epsilon > 0.0:
+            raise ValueError(
+                "comm_epsilon is the wire codec's error budget; "
+                "set codec='delta' or codec='delta-q16' to use it"
+            )
+        if self.codec != "none":
+            if self.delivery_prob < 1.0:
+                raise ValueError(
+                    "a delta codec needs guaranteed delivery "
+                    "(delivery_prob == 1): a lost frame breaks the "
+                    "pair's delta chain; run reliable=True with chaos "
+                    "knobs to model bad networks under a codec"
+                )
+            if self.suppress_tol > 0.0:
+                raise ValueError(
+                    "send_threshold/suppress_tol and a wire codec are "
+                    "mutually exclusive: the codec's ε_comm budget "
+                    "subsumes ad-hoc threshold suppression"
+                )
+            if self.crash_prob > 0.0 or self.recovery:
+                raise ValueError(
+                    "codec != 'none' does not support crash/recovery "
+                    "faults: a takeover discards receiver codec state "
+                    "mid-chain (resync handshakes are future work); "
+                    "pause faults are fine"
+                )
+            if self.engine == "mc" and self.comm_epsilon > 0.0:
+                raise ValueError(
+                    "the mc engine's token frames are exact by "
+                    "construction; comm_epsilon must stay 0"
+                )
         # Reliability / fault-tolerance knobs.
         check_non_negative(self.retry_timeout, "retry_timeout")
         if self.retry_timeout <= 0:
@@ -353,6 +428,13 @@ class RunResult:
         sparse kernels vs. rounds whose messaging was replayed through
         the persistent event-simulated fault plane.  Both zero for the
         other engines.
+    codec_stats:
+        Wire-codec session counters (``None`` when ``codec="none"``):
+        frames shipped / suppressed / exact-flushed, entries sent, the
+        outstanding residual mass, and the certified rank-deviation
+        bound ``ε_comm / (1 − α)`` (see :mod:`repro.net.adaptive`).
+        Calibrated vs paper bytes live on :attr:`traffic`
+        (``data_bytes`` vs ``paper_data_bytes``).
     """
 
     ranks: np.ndarray
@@ -378,6 +460,7 @@ class RunResult:
     fidelity: str = "exact"
     fast_rounds: int = 0
     replayed_rounds: int = 0
+    codec_stats: Optional[Dict[str, float]] = None
     config: DistributedConfig = field(repr=False, default=None)  # type: ignore[assignment]
 
     @property
@@ -481,6 +564,26 @@ class DistributedRun:
             if reference is not None
             else self.system.solve_exact()
         )
+
+        #: Shared wire-codec session manager (None when codec="none").
+        #: One instance serves every ranker: pair state is keyed by
+        #: (src, dst), and the per-pair error budget splits ε_comm over
+        #: the pairs that actually exchange updates — the same count
+        #: the flat engine derives from its pair table.
+        self.codec = None
+        if config.codec != "none":
+            from repro.net.adaptive import AdaptiveCodec
+
+            blocks = self.system.blocks
+            n_pairs = sum(
+                len(blocks.destinations_of(g))
+                for g in range(config.n_groups)
+            )
+            self.codec = AdaptiveCodec(
+                config.codec,
+                epsilon=config.comm_epsilon,
+                n_pairs=n_pairs,
+            )
 
         self.sim = Simulator()
         self.overlay = build_overlay(
@@ -620,6 +723,7 @@ class DistributedRun:
             seed=seed,
             suppress_tol=cfg.suppress_tol,
             fixed_wait=cfg.schedule == "sync",
+            codec=self.codec,
         )
 
     def _make_replacement(self, g: int, epoch: int) -> PageRanker:
@@ -746,6 +850,14 @@ class DistributedRun:
                 self.recovery.takeover_count if self.recovery is not None else 0
             ),
             checkpoint_saves=self.checkpoint_store.saves,
+            codec_stats=(
+                {
+                    **self.codec.stats(),
+                    "certified_bound": self.codec.certified_bound(cfg.alpha),
+                }
+                if self.codec is not None
+                else None
+            ),
         )
 
 

@@ -93,6 +93,7 @@ from repro.linalg.norms import l1_norm
 from repro.net.bandwidth import TrafficAccountant
 from repro.net.failures import BernoulliLoss, NoLoss
 from repro.net.latency import FixedLatency
+from repro.net.codec import token_frame_bytes
 from repro.net.message import ScoreUpdate
 from repro.net.simulator import Simulator
 from repro.net.transport import build_transport
@@ -117,14 +118,20 @@ def _replay_transport_round(
     ``sends`` lists ``(src_group, dst_group, n_records)`` triples in
     emission order (sources ascending, destinations ascending within a
     source — the order rankers tick and emit in a synchronous round).
+    A send may carry an optional fourth element: the encoded frame's
+    calibrated wire size, stamped onto the replay update's
+    ``wire_bytes`` so the transports charge the codec's bytes as data
+    while the paper-model counter keeps the flat 100 B/record charge
+    (see :mod:`repro.net.bandwidth`).
     Returns the delivery order as (src, dst) in upcall sequence and a
     scratch accountant holding the round's exact traffic.  Updates are
     empty-payload (byte accounting only reads ``n_link_records``) on a
     fresh simulator, so the cost is O(sends) regardless of page count.
 
     Shared by the flat engine (fixed per-round record counts from the
-    cross blocks) and the Monte-Carlo engine (per-round walk-token
-    counts, a different number every round).
+    cross blocks, plus per-round frame sizes under a codec) and the
+    Monte-Carlo engine (per-round walk-token counts, a different
+    number every round).
     """
     sim = Simulator()
     acc = TrafficAccountant(config.n_groups)
@@ -150,14 +157,15 @@ def _replay_transport_round(
         g = sends[i][0]
         updates = []
         while i < n and sends[i][0] == g:
-            h, records = sends[i][1], sends[i][2]
+            send = sends[i]
             updates.append(
                 ScoreUpdate(
                     src_group=g,
-                    dst_group=h,
+                    dst_group=send[1],
                     values=_EMPTY,
-                    n_link_records=records,
+                    n_link_records=send[2],
                     generation=0,
+                    wire_bytes=send[3] if len(send) > 3 else -1,
                 )
             )
             i += 1
@@ -373,6 +381,20 @@ class SynchronousEngine:
         #: Cached calibration for the lossless fast path: traffic of
         #: one full round plus its delivery order (computed once).
         self._calibration: Optional[Tuple[List[Tuple[int, int]], TrafficAccountant]] = None
+        #: Shared wire-codec session manager (None when codec="none").
+        #: One session per ordered pair, the same pair universe the
+        #: event engine's DistributedRun builds, so the certified
+        #: per-pair budgets — and every frame's byte size — agree
+        #: across engines.
+        self._codec = None
+        if config.codec != "none":
+            from repro.net.adaptive import AdaptiveCodec
+
+            self._codec = AdaptiveCodec(
+                config.codec,
+                epsilon=config.comm_epsilon,
+                n_pairs=len(self._pairs),
+            )
 
         #: Common tick period of the synchronous schedule.
         self.period = max(0.5 * (config.t1 + config.t2), MIN_MEAN_WAIT)
@@ -517,8 +539,45 @@ class SynchronousEngine:
             shape=(n_rows, self._y.size),
         )
 
+    def _communicate_codec(self) -> None:
+        """Codec round: encode every pair, replay survivors, deliver.
+
+        Config validation guarantees ``delivery_prob == 1`` under a
+        codec, so there is no loss interplay: every encoded frame is
+        delivered.  Each pair's compressed Y segment is encoded with
+        its nonzero-row map (so frame bytes match the event engine's
+        dense emissions — see :meth:`AdaptiveCodec.encode`), suppressed
+        pairs ship nothing, and receivers hold copies of the codec's
+        reconstruction mirror, reusing the loss path's
+        insertion-ordered ``_latest``/``_mail`` refresh machinery.  At
+        ε_comm = 0 the reconstruction equals the true segment bit for
+        bit, so the refresh re-sums exactly the values the lossless
+        SpMV path would deliver, in the same first-arrival order.
+        Per-round byte totals vary with frame content, so the replay
+        runs every round instead of caching one calibration.
+        """
+        sends = []
+        for g, h, csl, idx, records in self._pairs:
+            frame = self._codec.encode(g, h, self._y[csl], index_map=idx)
+            if frame is None:
+                continue
+            sends.append((g, h, records, frame.wire_bytes))
+        order, acc = _replay_transport_round(self.config, self.overlay, sends)
+        self.accountant.merge(acc)
+        for src, dst in order:
+            seg = self._codec.recon(src, dst)
+            held = self._latest[dst].get(src)
+            if held is None:
+                self._latest[dst][src] = seg.copy()
+            else:
+                np.copyto(held, seg)
+            self._mail.add(dst)
+
     def _communicate(self) -> None:
         """Apply loss, account the round's traffic, deliver the Y slices."""
+        if self._codec is not None:
+            self._communicate_codec()
+            return
         if isinstance(self._loss, NoLoss):
             if self._calibration is None:
                 self._calibration = self._replay_round(self._pairs)
@@ -665,6 +724,15 @@ class SynchronousEngine:
         """Engine-specific RunResult fields (fidelity, fault counters)."""
         return {}
 
+    def _codec_stats(self) -> Optional[Dict]:
+        """Codec counter snapshot + certified bound (None when off)."""
+        if self._codec is None:
+            return None
+        return {
+            **self._codec.stats(),
+            "certified_bound": self._codec.certified_bound(self.config.alpha),
+        }
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -793,6 +861,7 @@ class SynchronousEngine:
             quiescent=quiescent,
             quiescence_time=quiescence_time,
             config=cfg,
+            codec_stats=self._codec_stats(),
             **self._extra_result_fields(t),
         )
 
@@ -899,6 +968,14 @@ class MonteCarloEngine:
         # link records and the set of communicating pairs.
         self._crossing_records = 0
         self._pairs_seen: set = set()
+        #: Wire codec: walk tokens carry page ids, not scores, so the
+        #: "delta" codec degenerates to exact varint token frames
+        #: (sorted global target ids, gap-coded) — nothing to quantize
+        #: and no error budget to spend (config validation rejects
+        #: delta-q16 and ε_comm > 0 for this engine).
+        self._codec_on = config.codec != "none"
+        self._codec_frames = 0
+        self._codec_entries = 0
 
         #: Common tick period of the synchronous schedule.
         self.period = max(0.5 * (config.t1 + config.t2), MIN_MEAN_WAIT)
@@ -974,16 +1051,40 @@ class MonteCarloEngine:
             if cross.any():
                 codes = gs[cross].astype(np.int64) * k + gd[cross]
                 counts = np.bincount(codes, minlength=k * k)
-                sends = [
-                    (int(c) // k, int(c) % k, int(counts[c]))
-                    for c in np.flatnonzero(counts)
-                ]
+                present = np.flatnonzero(counts)
+                if self._codec_on:
+                    # Gap-coded token frames: group the crossing
+                    # targets per ordered pair, sort each pair's global
+                    # page ids, and charge the exact varint frame size
+                    # instead of 100 B per forwarded token.
+                    targets = dst[cross][np.argsort(codes, kind="stable")]
+                    bounds = np.cumsum(counts[present])
+                    sends = []
+                    start = 0
+                    for j, c in enumerate(present):
+                        ids = np.sort(targets[start : int(bounds[j])])
+                        start = int(bounds[j])
+                        sends.append(
+                            (
+                                int(c) // k,
+                                int(c) % k,
+                                int(counts[c]),
+                                token_frame_bytes(ids),
+                            )
+                        )
+                        self._codec_entries += int(ids.size)
+                    self._codec_frames += len(sends)
+                else:
+                    sends = [
+                        (int(c) // k, int(c) % k, int(counts[c]))
+                        for c in present
+                    ]
                 _, acc = _replay_transport_round(
                     self.config, self.overlay, sends
                 )
                 self.accountant.merge(acc)
                 self._crossing_records += int(counts.sum())
-                self._pairs_seen.update((s, d) for s, d, _ in sends)
+                self._pairs_seen.update((s[0], s[1]) for s in sends)
         self._rounds += 1
 
     # ------------------------------------------------------------------
@@ -1081,6 +1182,21 @@ class MonteCarloEngine:
                     break
             self._round()
 
+        codec_stats = None
+        if self._codec_on:
+            # Token frames are exact, so the certificate is trivially 0.
+            codec_stats = {
+                "codec": cfg.codec,
+                "epsilon": 0.0,
+                "pairs": len(self._pairs_seen),
+                "frames": self._codec_frames,
+                "suppressed_frames": 0,
+                "exact_flushes": self._codec_frames,
+                "entries_sent": self._codec_entries,
+                "resyncs": 0,
+                "residual_mass": 0.0,
+                "certified_bound": 0.0,
+            }
         return assemble_run_result(
             ranks=self.state.estimate(out=ranks_buf),
             reference=self.reference,
@@ -1095,4 +1211,5 @@ class MonteCarloEngine:
             quiescent=quiescent,
             quiescence_time=quiescence_time,
             config=cfg,
+            codec_stats=codec_stats,
         )

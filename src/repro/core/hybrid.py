@@ -259,7 +259,7 @@ class _ReplayARQ:
 
     def _transmission(
         self, src: int, dst: int, payload_bytes: int, alive: bool,
-        delivered_before: bool,
+        delivered_before: bool, paper_bytes: Optional[int] = None,
     ) -> Tuple[bool, bool]:
         """One wire attempt; returns (delivered fresh, ACK got back)."""
         if not self.loss.delivered(src, dst):
@@ -270,7 +270,16 @@ class _ReplayARQ:
             acc.record_lookup(
                 src, self._hops_for(src, dst), LOOKUP_MESSAGE_BYTES
             )
-        acc.record_data_message(src, dst, PACKAGE_HEADER_BYTES + payload_bytes)
+        acc.record_data_message(
+            src,
+            dst,
+            PACKAGE_HEADER_BYTES + payload_bytes,
+            paper_bytes=(
+                None
+                if paper_bytes is None
+                else PACKAGE_HEADER_BYTES + paper_bytes
+            ),
+        )
         if not alive:
             self.dead_drops += 1
             return False, False
@@ -284,11 +293,22 @@ class _ReplayARQ:
             return fresh, False
         return fresh, True
 
-    def send(self, src: int, dst: int, payload_bytes: int, alive: bool) -> bool:
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        alive: bool,
+        paper_bytes: Optional[int] = None,
+    ) -> bool:
         """Replay one logical message's full ARQ chain.
 
         Returns True when the payload reached a live destination on any
         attempt (at-least-once delivery with an idempotent receiver).
+        ``paper_bytes`` carries the flat §4.4 payload charge when
+        ``payload_bytes`` is an encoded frame size (codec runs); every
+        attempt — retransmissions and chaos duplicates included —
+        resends the same frame, so both charges ride the whole chain.
         """
         pair = (src, dst)
         self._next_seq[pair] = self._next_seq.get(pair, 0) + 1
@@ -300,14 +320,14 @@ class _ReplayARQ:
             if chaos.active:
                 chaos.reorder_delay()  # timing-only draw (stream parity)
             fresh, got_ack = self._transmission(
-                src, dst, payload_bytes, alive, delivered
+                src, dst, payload_bytes, alive, delivered, paper_bytes
             )
             delivered = delivered or fresh
             acked = acked or got_ack
             if chaos.active and chaos.duplicate():
                 self.chaos_duplicates += 1
                 fresh, got_ack = self._transmission(
-                    src, dst, payload_bytes, alive, delivered
+                    src, dst, payload_bytes, alive, delivered, paper_bytes
                 )
                 delivered = delivered or fresh
                 acked = acked or got_ack
@@ -723,23 +743,45 @@ class HybridEngine(SynchronousEngine):
         return out
 
     def _emit_world(self, stepping: List[int], t: float) -> None:
-        """Send this round's updates through the fault plane."""
+        """Send this round's updates through the fault plane.
+
+        Under a codec each pair's compressed segment is encoded first:
+        the update carries a copy of the reconstruction mirror (the
+        receiver's exact post-frame state, safe against retransmission
+        because every resend ships the same object) with the frame's
+        calibrated ``wire_bytes``; codec-suppressed pairs send nothing.
+        """
         transport = self._transport
         for g in stepping:
             gen = int(self._outer[g])
-            updates = [
-                ScoreUpdate(
-                    src_group=g,
-                    dst_group=h,
+            updates = []
+            for h, csl, records in self._emit_pairs(g):
+                wire_bytes = -1
+                if self._codec is not None:
+                    frame = self._codec.encode(
+                        g, h, self._y[csl],
+                        index_map=self._pair_idx[(g, h)],
+                    )
+                    if frame is None:
+                        self._suppressed_sends += 1
+                        continue
+                    values = frame.values.copy()
+                    wire_bytes = frame.wire_bytes
+                else:
                     # Copied: self._y is reused next round, and the ARQ
                     # layer must retransmit the *original* payload.
-                    values=self._y[csl].copy(),
-                    n_link_records=records,
-                    generation=gen,
-                    sent_at=t,
+                    values = self._y[csl].copy()
+                updates.append(
+                    ScoreUpdate(
+                        src_group=g,
+                        dst_group=h,
+                        values=values,
+                        n_link_records=records,
+                        generation=gen,
+                        sent_at=t,
+                        wire_bytes=wire_bytes,
+                    )
                 )
-                for h, csl, records in self._emit_pairs(g)
-            ]
             if updates:
                 transport.send_updates(g, updates)
 
@@ -756,8 +798,23 @@ class HybridEngine(SynchronousEngine):
             gen = int(self._outer[g])
             for h, csl, records in self._emit_pairs(g):
                 alive = not shadows[h].crashed
-                payload = records * LINK_RECORD_BYTES
-                if arq.send(g, h, payload, alive):
+                paper = records * LINK_RECORD_BYTES
+                if self._codec is not None:
+                    frame = self._codec.encode(
+                        g, h, self._y[csl],
+                        index_map=self._pair_idx[(g, h)],
+                    )
+                    if frame is None:
+                        self._suppressed_sends += 1
+                        continue
+                    if arq.send(
+                        g, h, frame.wire_bytes, alive, paper_bytes=paper
+                    ):
+                        # _apply_values copies immediately, so the
+                        # mirror view is safe to hand over.
+                        self._apply_values(g, h, frame.values, gen)
+                    continue
+                if arq.send(g, h, paper, alive):
                     self._apply_values(g, h, self._y[csl], gen)
 
     def _emit_replay(self, stepping: List[int]) -> None:
@@ -769,14 +826,28 @@ class HybridEngine(SynchronousEngine):
         per-round traffic, merged via ``TrafficAccountant.merge``) and
         the segments are applied in the observed delivery order.
         """
-        sent: List[Tuple[int, int, int]] = []
+        sent: List[Tuple] = []
         for g in stepping:
-            for h, _csl, records in self._emit_pairs(g):
+            for h, csl, records in self._emit_pairs(g):
+                if self._codec is not None:
+                    # Codec configs are lossless by validation; the
+                    # frame size rides as the send's fourth element.
+                    frame = self._codec.encode(
+                        g, h, self._y[csl],
+                        index_map=self._pair_idx[(g, h)],
+                    )
+                    if frame is None:
+                        self._suppressed_sends += 1
+                        continue
+                    sent.append((g, h, records, frame.wire_bytes))
+                    continue
                 if not self._loss.delivered(g, h):
                     self.dropped_updates += 1
                     continue
                 sent.append((g, h, records))
-        lossless = isinstance(self._loss, NoLoss)
+        # Per-round frame sizes vary under a codec, so its rounds never
+        # reuse a cached calibration.
+        lossless = isinstance(self._loss, NoLoss) and self._codec is None
         key = tuple((s[0], s[1]) for s in sent) if lossless else None
         cached = self._partial_cal.get(key) if key is not None else None
         if cached is None:
@@ -786,7 +857,10 @@ class HybridEngine(SynchronousEngine):
         order, acc = cached
         self.accountant.merge(acc)
         for src, dst in order:
-            seg = self._y[self._pair_cslice[(src, dst)]]
+            if self._codec is not None:
+                seg = self._codec.recon(src, dst)
+            else:
+                seg = self._y[self._pair_cslice[(src, dst)]]
             held = self._latest[dst].get(src)
             if held is None:
                 self._latest[dst][src] = seg.copy()

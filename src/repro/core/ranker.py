@@ -59,6 +59,15 @@ class PageRanker:
         exponential draw — the *synchronous schedule* used to verify
         the flat execution engine against the event engine (all
         rankers tick in lockstep; see :mod:`repro.core.engine`).
+    codec:
+        Shared :class:`~repro.net.adaptive.AdaptiveCodec` session
+        manager (None disables).  When set, every emission is
+        delta-encoded against the pair's reconstruction mirror: the
+        shipped values are the receiver's exact post-frame state, the
+        update's ``wire_bytes`` carries the calibrated frame size, and
+        emissions the budget lets the codec suppress entirely count in
+        :attr:`suppressed_sends`.  Mutually exclusive with
+        ``suppress_tol`` (enforced by config validation).
     """
 
     def __init__(
@@ -72,6 +81,7 @@ class PageRanker:
         seed: RngLike = 0,
         suppress_tol: float = 0.0,
         fixed_wait: bool = False,
+        codec=None,
     ):
         self.sim = sim
         self.node = node
@@ -79,6 +89,7 @@ class PageRanker:
         self.transport = transport
         self.mean_wait = max(check_non_negative(mean_wait, "mean_wait"), MIN_MEAN_WAIT)
         self.suppress_tol = check_non_negative(suppress_tol, "suppress_tol")
+        self.codec = codec
         self.fixed_wait = bool(fixed_wait)
         self._rng = as_generator(seed)
         self.paused = False
@@ -153,7 +164,17 @@ class PageRanker:
         """
         updates = []
         for dst, values in self.system.efferent(self.group, r).items():
-            if self.suppress_tol > 0.0:
+            wire_bytes = -1
+            if self.codec is not None:
+                frame = self.codec.encode(self.group, dst, values)
+                if frame is None:
+                    self.suppressed_sends += 1
+                    continue
+                # The mirror mutates on the pair's next encode, and the
+                # update may still be in flight then — copy at send.
+                values = frame.values.copy()
+                wire_bytes = frame.wire_bytes
+            elif self.suppress_tol > 0.0:
                 prev = self._last_sent.get(dst)
                 if prev is not None and np.abs(values - prev).sum() <= self.suppress_tol:
                     self.suppressed_sends += 1
@@ -166,6 +187,7 @@ class PageRanker:
                     values=values,
                     n_link_records=self.system.cross_records(self.group, dst),
                     generation=self.node.outer_iterations,
+                    wire_bytes=wire_bytes,
                 )
             )
         if updates:

@@ -37,6 +37,11 @@ from repro.experiments.chaos import (
     ChaosBakeoffResult,
     run_chaos_bakeoff,
 )
+from repro.experiments.compression import (
+    COMPRESSION_CONTENDERS,
+    CompressionBakeoffResult,
+    run_compression_bakeoff,
+)
 from repro.experiments.serve import (
     ServeDemoResult,
     run_serve_demo,
@@ -79,6 +84,9 @@ __all__ = [
     "CHAOS_ENGINES",
     "ChaosBakeoffResult",
     "run_chaos_bakeoff",
+    "COMPRESSION_CONTENDERS",
+    "CompressionBakeoffResult",
+    "run_compression_bakeoff",
     "ServeDemoResult",
     "run_serve_demo",
     "ReproductionReport",

@@ -348,7 +348,7 @@ def compression_point(
             partition_strategy="url",
             t1=3.0,
             t2=3.0,
-            suppress_tol=float(tol),
+            send_threshold=float(tol),
             seed=seed,
             reference=reference,
             max_time=max_time,

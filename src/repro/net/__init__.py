@@ -15,7 +15,11 @@ This package provides that simulator:
   to end send, §4.4 Fig 3) and **indirect transmission** (hop-by-hop
   forwarding with per-neighbor pack/recombine, §4.4 Figs 4–5).
 * :mod:`~repro.net.bandwidth` — message/byte accounting used to verify
-  formulas 4.1–4.4.
+  formulas 4.1–4.4 (calibrated and paper-model counters in parallel).
+* :mod:`~repro.net.codec` / :mod:`~repro.net.adaptive` — delta-coded,
+  error-budgeted wire compression of cross-group score updates
+  (varint-packed frames, per-pair reconstruction mirrors, certified
+  ε_comm accounting).
 * :mod:`~repro.net.failures` — Bernoulli message loss (the paper's
   ``p``), node pause/resume churn, permanent crash injection, and
   the chaos model (duplication / reordering / ACK loss).
@@ -37,6 +41,15 @@ from repro.net.message import (
     ACK_MESSAGE_BYTES,
 )
 from repro.net.bandwidth import TrafficAccountant, TrafficSnapshot
+from repro.net.codec import (
+    CODECS,
+    FRAME_HEADER_BYTES,
+    decode_frame,
+    encode_frame,
+    frame_wire_bytes,
+    token_frame_bytes,
+)
+from repro.net.adaptive import AdaptiveCodec, EncodedFrame
 from repro.net.failures import (
     BernoulliLoss,
     ChaosModel,
@@ -63,6 +76,14 @@ __all__ = [
     "ACK_MESSAGE_BYTES",
     "TrafficAccountant",
     "TrafficSnapshot",
+    "CODECS",
+    "FRAME_HEADER_BYTES",
+    "decode_frame",
+    "encode_frame",
+    "frame_wire_bytes",
+    "token_frame_bytes",
+    "AdaptiveCodec",
+    "EncodedFrame",
     "BernoulliLoss",
     "ChaosModel",
     "NoLoss",

@@ -6,6 +6,13 @@ the two categories of the paper's analysis (§4.4):
 * ``data`` — messages/bytes carrying score records (both transports);
 * ``lookup`` — DHT resolution traffic (direct transmission only).
 
+When a wire codec is active (``DistributedConfig.codec != "none"``)
+the ``data`` counters hold the *calibrated* encoded-frame bytes, and
+the parallel ``paper_data_bytes`` counter keeps accumulating what the
+same messages would cost under the paper's flat 100 B/record model —
+so §4.4 comparisons and compression ratios come out of one accountant.
+Codec-free runs charge both counters identically.
+
 The accountant also tracks per-node ingress/egress bytes, which is what
 the per-node *bottleneck bandwidth* constraint of formula 4.7 is about,
 and supports interval snapshots so benches can report per-iteration
@@ -15,7 +22,7 @@ traffic (formulas 4.1–4.4 are all per-iteration quantities).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -40,6 +47,9 @@ class TrafficSnapshot:
     lookup_bytes: int
     ack_messages: int = 0
     ack_bytes: int = 0
+    #: Paper-model (§4.4) bytes for the same data messages; equals
+    #: ``data_bytes`` unless a wire codec re-priced the payloads.
+    paper_data_bytes: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -59,6 +69,7 @@ class TrafficSnapshot:
             lookup_bytes=self.lookup_bytes - earlier.lookup_bytes,
             ack_messages=self.ack_messages - earlier.ack_messages,
             ack_bytes=self.ack_bytes - earlier.ack_bytes,
+            paper_data_bytes=self.paper_data_bytes - earlier.paper_data_bytes,
         )
 
 
@@ -75,14 +86,32 @@ class TrafficAccountant:
         self.lookup_bytes = 0
         self.ack_messages = 0
         self.ack_bytes = 0
+        self.paper_data_bytes = 0
         self.bytes_out = np.zeros(n_nodes, dtype=np.int64)
         self.bytes_in = np.zeros(n_nodes, dtype=np.int64)
 
     # ------------------------------------------------------------------
-    def record_data_message(self, src: int, dst: int, n_bytes: int) -> None:
-        """One physical score-carrying message from ``src`` to ``dst``."""
+    def record_data_message(
+        self,
+        src: int,
+        dst: int,
+        n_bytes: int,
+        paper_bytes: Optional[int] = None,
+    ) -> None:
+        """One physical score-carrying message from ``src`` to ``dst``.
+
+        ``n_bytes`` is what actually crosses the wire (the calibrated
+        charge); ``paper_bytes`` is the §4.4 flat-model charge for the
+        same message, defaulting to ``n_bytes`` when no codec re-priced
+        the payload.  Per-node ingress/egress aggregates track the
+        calibrated bytes — they feed the bottleneck-bandwidth
+        constraint (formula 4.7), which is about real link load.
+        """
         self.data_messages += 1
         self.data_bytes += int(n_bytes)
+        self.paper_data_bytes += int(
+            n_bytes if paper_bytes is None else paper_bytes
+        )
         self.bytes_out[src] += n_bytes
         self.bytes_in[dst] += n_bytes
 
@@ -132,6 +161,7 @@ class TrafficAccountant:
         self.lookup_bytes += other.lookup_bytes
         self.ack_messages += other.ack_messages
         self.ack_bytes += other.ack_bytes
+        self.paper_data_bytes += other.paper_data_bytes
         self.bytes_out += other.bytes_out
         self.bytes_in += other.bytes_in
 
@@ -146,6 +176,7 @@ class TrafficAccountant:
             lookup_bytes=self.lookup_bytes,
             ack_messages=self.ack_messages,
             ack_bytes=self.ack_bytes,
+            paper_data_bytes=self.paper_data_bytes,
         )
 
     def node_bandwidth_peak(self) -> Dict[str, float]:

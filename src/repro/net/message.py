@@ -1,18 +1,47 @@
 """Message types exchanged between page rankers.
 
-Wire-size model (paper §4.5): a link-score record has the form
+Two wire-size accounting modes coexist:
+
+**Paper model** (§4.5): a link-score record has the form
 ``<url_from, url_to, score>``; with a mean URL of 40 bytes the paper
-rounds one record to ``l = 100`` bytes.  A DHT lookup message carries
-one key plus addressing, modelled at ``r = 50`` bytes (the paper leaves
-``r`` symbolic; any constant ≪ payload works, and the bench reports
-both terms separately).
+rounds one record to ``l = 100`` bytes
+(:data:`LINK_RECORD_BYTES`), so an update costs
+``n_link_records × LINK_RECORD_BYTES`` plus a
+:data:`PACKAGE_HEADER_BYTES` frame header per physical package.  A DHT
+lookup message carries one key plus addressing, modelled at ``r = 50``
+bytes (the paper leaves ``r`` symbolic; any constant ≪ payload works,
+and the bench reports both terms separately).
+
+**Calibrated model** (wire codec, ``DistributedConfig.codec != "none"``):
+the codec layer of :mod:`repro.net.codec` / :mod:`repro.net.adaptive`
+delta-encodes each pair's update against the receiver's last
+reconstruction and stamps the exact encoded frame size into
+:attr:`ScoreUpdate.wire_bytes`.  Transports then charge
+``header + wire_bytes`` as data traffic, while the paper-model charge
+for the same update is *always* accumulated in parallel (the
+``paper_*`` counters of :class:`~repro.net.bandwidth.TrafficAccountant`)
+so §4.4 comparisons survive compression.  ``wire_bytes = -1`` (the
+default) means "no encoded frame": both models charge the paper bytes,
+which keeps codec-free runs bit-identical to historical accounting.
 
 The simulator carries score updates in *vectorized* form — one dense
 vector per (source group → destination group) pair, precomputed by the
-cross blocks of :class:`~repro.linalg.operators.GroupBlocks` — but the
-accounting charges them by the number of underlying link records
-(``n_link_records × LINK_RECORD_BYTES``), exactly as the paper's byte
-model does.
+cross blocks of :class:`~repro.linalg.operators.GroupBlocks`; neither
+model ever serializes the vectors on the hot path (the codec computes
+frame sizes with exact varint arithmetic — see
+:func:`repro.net.codec.frame_wire_bytes`).
+
+>>> import numpy as np
+>>> u = ScoreUpdate(0, 1, np.zeros(3), n_link_records=7, generation=0)
+>>> u.payload_bytes            # paper model: 7 records x 100 B
+700
+>>> u.effective_payload_bytes  # no encoded frame: falls back to paper
+700
+>>> u.wire_bytes = 68          # codec stamped a 68-byte frame
+>>> u.effective_payload_bytes
+68
+>>> u.payload_bytes            # paper charge is unchanged
+700
 
 All message classes are ``slots=True`` dataclasses: an event-driven
 run materializes one :class:`ScoreUpdate` per (src, dst) pair per
@@ -86,6 +115,12 @@ class ScoreUpdate:
         update travels over a plain transport).  Receivers use it for
         idempotent duplicate suppression; retransmissions reuse the
         original seq.
+    wire_bytes:
+        Exact encoded frame size stamped by the wire codec
+        (:mod:`repro.net.adaptive`), or -1 when the update carries no
+        encoded frame and is charged at the paper model.
+        Retransmissions resend the same update object, so the encoded
+        frame — and its byte charge — ride along unchanged.
     """
 
     src_group: int
@@ -96,11 +131,17 @@ class ScoreUpdate:
     sent_at: float = 0.0
     hops_taken: int = 0
     seq: int = -1
+    wire_bytes: int = -1
 
     @property
     def payload_bytes(self) -> int:
         """Bytes on the wire under the paper's record model."""
         return self.n_link_records * LINK_RECORD_BYTES
+
+    @property
+    def effective_payload_bytes(self) -> int:
+        """Calibrated bytes: the encoded frame, or the paper fallback."""
+        return self.wire_bytes if self.wire_bytes >= 0 else self.payload_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -124,8 +165,15 @@ class Package:
 
     @property
     def payload_bytes(self) -> int:
-        """Total bytes: summed record payloads plus one frame header."""
+        """Paper-model bytes: summed record payloads plus one header."""
         return PACKAGE_HEADER_BYTES + sum(u.payload_bytes for u in self.updates)
+
+    @property
+    def wire_payload_bytes(self) -> int:
+        """Calibrated bytes: encoded frames (or paper fallback) + header."""
+        return PACKAGE_HEADER_BYTES + sum(
+            u.effective_payload_bytes for u in self.updates
+        )
 
     def __len__(self) -> int:
         return len(self.updates)

@@ -38,6 +38,15 @@ ACK round-trip time*.  With a timeout shorter than the RTT the sender
 retransmits spuriously (classic ARQ); the receiver's dedup makes that
 harmless but not free, so size ``RetryPolicy.timeout`` above the
 slowest path's round trip.
+
+The layer is **codec-agnostic**: when a wire codec is active
+(:mod:`repro.net.adaptive`) every retransmission resends the *same*
+:class:`~repro.net.message.ScoreUpdate` object, so the encoded frame
+— and its :attr:`~repro.net.message.ScoreUpdate.wire_bytes` charge —
+ride along unchanged; dedup and ACK accounting never look at the
+payload at all.  Sequence numbers double as the codec's delivery
+order, which is why delta sessions compose with ARQ but not with
+fire-and-forget loss (see ``core/capabilities.py``).
 """
 
 from __future__ import annotations

@@ -113,8 +113,12 @@ def install_tracing(
     orig_lookup = accountant.record_lookup
     orig_ack = accountant.record_ack
 
-    def record_data(src: int, dst: int, n_bytes: int) -> None:
-        orig_data(src, dst, n_bytes)
+    def record_data(
+        src: int, dst: int, n_bytes: int, paper_bytes=None
+    ) -> None:
+        # Traced size is the calibrated wire charge; the parallel
+        # paper-model counter stays inside the accountant.
+        orig_data(src, dst, n_bytes, paper_bytes=paper_bytes)
         trace.add(MessageRecord(sim.now, "data", src, dst, int(n_bytes)))
 
     def record_lookup(src: int, hops: int, bytes_per_hop: int) -> None:

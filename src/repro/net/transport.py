@@ -113,8 +113,13 @@ class DirectTransport(Transport):
                 if self.cache_lookups:
                     self._resolved[src_group].add(dst)
             # One end-to-end data message (IP-level, a single "hop").
+            # Calibrated charge (codec frame when stamped) plus the
+            # parallel paper-model charge for §4.4 comparability.
             self.accountant.record_data_message(
-                src_group, dst, PACKAGE_HEADER_BYTES + update.payload_bytes
+                src_group,
+                dst,
+                PACKAGE_HEADER_BYTES + update.effective_payload_bytes,
+                paper_bytes=PACKAGE_HEADER_BYTES + update.payload_bytes,
             )
             delay += self.latency.hop_delay(src_group, dst)
             update.sent_at = self.sim.now
@@ -198,7 +203,12 @@ class IndirectTransport(Transport):
             by_next[nxt].append(u)
         for nxt, batch in by_next.items():
             package = Package(from_node=node, to_node=nxt, updates=batch)
-            self.accountant.record_data_message(node, nxt, package.payload_bytes)
+            self.accountant.record_data_message(
+                node,
+                nxt,
+                package.wire_payload_bytes,
+                paper_bytes=package.payload_bytes,
+            )
             self.packages_sent += 1
             self.sim.schedule(
                 self.latency.hop_delay(node, nxt), self._arrive, package

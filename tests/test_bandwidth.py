@@ -47,3 +47,136 @@ class TestAccounting:
     def test_rejects_empty_network(self):
         with pytest.raises(ValueError):
             TrafficAccountant(0)
+
+
+# ----------------------------------------------------------------------
+# Property tests: the accountant's little algebra.
+#
+# The engines lean on three identities — snapshot/delta is a group
+# difference, merge is counter addition, and the paper-model counter
+# shadows data_bytes unless a codec re-prices a payload.  Random
+# event sequences pin them down.
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+N_NODES = 5
+
+
+def traffic_events():
+    node = st.integers(min_value=0, max_value=N_NODES - 1)
+    size = st.integers(min_value=1, max_value=500)
+    data = st.tuples(st.just("data"), node, node, size, st.none() | size)
+    lookup = st.tuples(
+        st.just("lookup"), node, st.integers(min_value=1, max_value=6), size
+    )
+    ack = st.tuples(st.just("ack"), node, node, size)
+    return st.lists(data | lookup | ack, max_size=40)
+
+
+def apply_events(acc, events):
+    for ev in events:
+        if ev[0] == "data":
+            _, src, dst, n, paper = ev
+            acc.record_data_message(src, dst, n, paper_bytes=paper)
+        elif ev[0] == "lookup":
+            _, src, hops, per_hop = ev
+            acc.record_lookup(src, hops=hops, bytes_per_hop=per_hop)
+        else:
+            _, src, dst, n = ev
+            acc.record_ack(src, dst, n)
+
+
+COUNTERS = (
+    "data_messages",
+    "data_bytes",
+    "lookup_messages",
+    "lookup_bytes",
+    "ack_messages",
+    "ack_bytes",
+    "paper_data_bytes",
+)
+
+
+class TestAccountantProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(traffic_events(), traffic_events())
+    def test_snapshot_delta_inverts_recording(self, first, second):
+        """snapshot(t2) − snapshot(t1) == what was recorded in between,
+        for every counter, regardless of the event mix."""
+        acc = TrafficAccountant(N_NODES)
+        apply_events(acc, first)
+        s1 = acc.snapshot(1.0)
+        apply_events(acc, second)
+        s2 = acc.snapshot(2.0)
+        d = s2.delta(s1)
+
+        only_second = TrafficAccountant(N_NODES)
+        apply_events(only_second, second)
+        expected = only_second.snapshot(2.0)
+        for name in COUNTERS:
+            assert getattr(d, name) == getattr(expected, name)
+
+    @settings(max_examples=60, deadline=None)
+    @given(traffic_events(), traffic_events())
+    def test_merge_is_counter_addition(self, first, second):
+        """Recording A then B into one accountant equals recording them
+        into two accountants and merging — the identity that makes the
+        flat engine's per-round scratch-merge reporting path exact."""
+        sequential = TrafficAccountant(N_NODES)
+        apply_events(sequential, first + second)
+
+        a = TrafficAccountant(N_NODES)
+        b = TrafficAccountant(N_NODES)
+        apply_events(a, first)
+        apply_events(b, second)
+        a.merge(b)
+
+        for name in COUNTERS:
+            assert getattr(a, name) == getattr(sequential, name)
+        assert (a.bytes_out == sequential.bytes_out).all()
+        assert (a.bytes_in == sequential.bytes_in).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(traffic_events())
+    def test_totals_exclude_acks(self, events):
+        """total_messages/total_bytes stay the paper's data + lookup
+        quantities; ACK traffic is reported apart."""
+        acc = TrafficAccountant(N_NODES)
+        apply_events(acc, events)
+        s = acc.snapshot(1.0)
+        assert s.total_messages == s.data_messages + s.lookup_messages
+        assert s.total_bytes == s.data_bytes + s.lookup_bytes
+
+    @settings(max_examples=60, deadline=None)
+    @given(traffic_events())
+    def test_paper_bytes_shadow_data_bytes(self, events):
+        """paper_data_bytes equals data_bytes when no message was
+        re-priced, and ignores lookup/ACK traffic entirely."""
+        acc = TrafficAccountant(N_NODES)
+        apply_events(acc, events)
+        repriced = any(
+            ev[0] == "data" and ev[4] is not None for ev in events
+        )
+        if not repriced:
+            assert acc.paper_data_bytes == acc.data_bytes
+        expected = sum(
+            (ev[3] if ev[4] is None else ev[4])
+            for ev in events
+            if ev[0] == "data"
+        )
+        assert acc.paper_data_bytes == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(traffic_events())
+    def test_point_to_point_bytes_conserved(self, events):
+        """Every data/ACK byte leaving a source arrives at exactly one
+        destination; lookups charge the originator's egress only."""
+        acc = TrafficAccountant(N_NODES)
+        apply_events(acc, events)
+        lookup_bytes = sum(
+            ev[2] * ev[3] for ev in events if ev[0] == "lookup"
+        )
+        assert acc.bytes_out.sum() - lookup_bytes == acc.bytes_in.sum()
+        assert (
+            acc.bytes_in.sum() == acc.data_bytes + acc.ack_bytes
+        )

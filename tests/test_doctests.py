@@ -12,6 +12,7 @@ import pytest
 import repro
 import repro.analysis.reporting
 import repro.analysis.viz
+import repro.net.message
 import repro.net.simulator
 import repro.utils.rng
 
@@ -19,6 +20,7 @@ DOCTEST_MODULES = [
     repro,
     repro.analysis.reporting,
     repro.analysis.viz,
+    repro.net.message,
     repro.net.simulator,
     repro.utils.rng,
 ]
